@@ -1,0 +1,41 @@
+"""Ablation: §4.7 pipelined scheduling vs latency-optimized scheduling.
+
+The paper describes pipelining but does not evaluate it; this bench
+quantifies the trade-off the text asserts: higher steady-state
+throughput at the cost of per-round latency.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.sim import SimConfig
+from repro.sim.pipeline import PipelinedAtomSimulator
+
+
+def test_pipeline_ablation(benchmark):
+    config = SimConfig(num_servers=1024, num_groups=1024)
+    sim = PipelinedAtomSimulator(config)
+    benchmark(lambda: sim.simulate(2 ** 20))
+
+    rows = []
+    for messages in (2 ** 19, 2 ** 20, 2 ** 21):
+        comparison = sim.compare_with_latency_mode(messages)
+        rows.append(
+            (
+                f"{messages/1e6:.2f}M",
+                f"{comparison['latency_mode_round_s']/60:.1f}",
+                f"{comparison['pipelined_round_s']/60:.1f}",
+                f"{comparison['latency_mode_throughput']:.0f}",
+                f"{comparison['pipelined_throughput']:.0f}",
+                f"{comparison['throughput_gain']:.1f}x",
+            )
+        )
+    print_table(
+        "Ablation: pipelined vs latency-optimized (1,024 servers)",
+        ["messages", "lat round (min)", "pipe round (min)",
+         "lat msgs/s", "pipe msgs/s", "throughput gain"],
+        rows,
+    )
+
+    gains = [float(r[5][:-1]) for r in rows]
+    assert all(g > 1.0 for g in gains)

@@ -1,0 +1,53 @@
+"""Figure 10: speed-up of Atom networks of varying sizes relative to a
+128-server network (one million microblogging messages).
+
+"The network speeds up linearly with the number of servers. That is, an
+Atom network with 1,024 servers is twice as fast as one with 512
+servers." Paper anchors: 3.81 hr / 1.89 hr / 0.94 hr / 0.47 hr.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.sim import AtomSimulator, SimConfig
+
+SERVER_COUNTS = [128, 256, 512, 1024]
+PAPER_HOURS = {128: 3.81, 256: 1.89, 512: 0.94, 1024: 0.47}
+MESSAGES = 2 ** 20
+
+
+def test_fig10_sweep(benchmark):
+    benchmark(
+        lambda: AtomSimulator(
+            SimConfig(num_servers=1024, num_groups=1024)
+        ).simulate_round(MESSAGES)
+    )
+
+    hours = {}
+    for n in SERVER_COUNTS:
+        sim = AtomSimulator(SimConfig(num_servers=n, num_groups=n))
+        hours[n] = sim.simulate_round(MESSAGES).total_hours
+
+    base = hours[128]
+    rows = [
+        (
+            n,
+            f"{hours[n]:.2f}",
+            PAPER_HOURS[n],
+            f"{base / hours[n]:.2f}x",
+            f"{PAPER_HOURS[128] / PAPER_HOURS[n]:.2f}x",
+        )
+        for n in SERVER_COUNTS
+    ]
+    print_table(
+        "Figure 10: horizontal scaling, 1M microblog messages",
+        ["servers", "ours (hr)", "paper (hr)", "our speed-up", "paper speed-up"],
+        rows,
+    )
+
+    # Shape: linear speed-up — each doubling of servers halves latency.
+    for small, large in zip(SERVER_COUNTS, SERVER_COUNTS[1:]):
+        assert hours[small] / hours[large] == pytest.approx(2.0, rel=0.2)
+    # Absolute agreement within 15% at every size.
+    for n in SERVER_COUNTS:
+        assert hours[n] == pytest.approx(PAPER_HOURS[n], rel=0.15)

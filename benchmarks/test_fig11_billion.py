@@ -1,0 +1,62 @@
+"""Figure 11: simulated speed-up routing one billion microblogging
+messages on 2^10 .. 2^15 servers, relative to 1,024 servers.
+
+"At this scale, the speed-up is sub-linear in the number of servers"
+because of (1) the G^2 inter-layer connections and (2) the single
+trustee group's TLS handling.  Paper anchors: 483.6 / 244.4 / 122.9 /
+65.5 / 36.7 / 20.5 hours.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.sim import AtomSimulator, SimConfig
+
+LOG_SERVER_COUNTS = [10, 11, 12, 13, 14, 15]
+PAPER_HOURS = {10: 483.6, 11: 244.4, 12: 122.9, 13: 65.5, 14: 36.7, 15: 20.5}
+MESSAGES = 10 ** 9
+
+
+def test_fig11_sweep(benchmark):
+    benchmark(
+        lambda: AtomSimulator(
+            SimConfig(num_servers=2 ** 15, num_groups=2 ** 15)
+        ).simulate_round(MESSAGES)
+    )
+
+    hours = {}
+    overheads = {}
+    for log_n in LOG_SERVER_COUNTS:
+        n = 2 ** log_n
+        result = AtomSimulator(
+            SimConfig(num_servers=n, num_groups=n)
+        ).simulate_round(MESSAGES)
+        hours[log_n] = result.total_hours
+        overheads[log_n] = result.overhead_s / 3600
+
+    base = hours[10]
+    rows = [
+        (
+            f"2^{log_n}",
+            f"{hours[log_n]:.1f}",
+            PAPER_HOURS[log_n],
+            f"{base / hours[log_n]:.1f}x",
+            f"{PAPER_HOURS[10] / PAPER_HOURS[log_n]:.1f}x",
+            f"{overheads[log_n]:.2f}",
+        )
+        for log_n in LOG_SERVER_COUNTS
+    ]
+    print_table(
+        "Figure 11: 1B messages at scale",
+        ["servers", "ours (hr)", "paper (hr)", "our speed-up", "paper", "conn overhead (hr)"],
+        rows,
+    )
+
+    # Shape: near-linear for the first doublings...
+    assert base / hours[11] == pytest.approx(2.0, rel=0.15)
+    assert base / hours[12] == pytest.approx(4.0, rel=0.15)
+    # ...and clearly sub-linear at 2^15 (paper: 23.6x vs 32x ideal).
+    final_speedup = base / hours[15]
+    assert 15 < final_speedup < 28
+    # Overhead grows superlinearly with group count.
+    assert overheads[15] > 8 * overheads[12]

@@ -1,0 +1,56 @@
+"""Figure 5: time per mixing iteration vs number of messages
+(one group of 32 servers; NIZK vs trap).
+
+The trap series accounts for trap doubling exactly as the paper does
+("if there are 1,024 groups and 2^20 messages, each group would handle
+1,024 messages in the NIZK variant and 2,048 in the trap variant").
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.sim.costmodel import PrimitiveCosts
+from repro.sim.machines import MachineSpec
+from repro.sim.mixnet import GroupMixModel
+from repro.sim.network import NetworkModel
+from repro.sim.runner import DEFAULT_CALIBRATION
+
+MESSAGE_COUNTS = [128, 512, 1024, 4096, 16384]
+K = 32
+
+
+def models():
+    costs = PrimitiveCosts.paper_table3()
+    machines = [MachineSpec(4, 100.0)] * K
+    net = NetworkModel()
+    return (
+        GroupMixModel(costs, net, machines, variant="nizk"),
+        GroupMixModel(costs, net, machines, variant="trap"),
+    )
+
+
+def test_fig5_sweep(benchmark):
+    nizk, trap = models()
+    benchmark(lambda: trap.iteration_time(2 * 16384))
+
+    rows = []
+    nizk_series, trap_series = [], []
+    for n in MESSAGE_COUNTS:
+        t_nizk = nizk.iteration_time(n) * DEFAULT_CALIBRATION
+        t_trap = trap.iteration_time(2 * n) * DEFAULT_CALIBRATION
+        nizk_series.append(t_nizk)
+        trap_series.append(t_trap)
+        rows.append((n, f"{t_nizk:.1f}", f"{t_trap:.1f}", f"{t_nizk / t_trap:.1f}x"))
+    print_table(
+        "Figure 5: time per mixing iteration (s), 32-server group",
+        ["messages", "NIZK", "trap", "NIZK/trap"],
+        rows,
+    )
+    print("paper anchors: NIZK@16384 ~3000s, trap@16384 ~750s, ratio ~4x")
+
+    # Shape: linear growth in messages for both variants.
+    assert nizk_series[-1] / nizk_series[2] == pytest.approx(16, rel=0.2)
+    assert trap_series[-1] / trap_series[2] == pytest.approx(16, rel=0.25)
+    # Shape: NIZK about 4x the trap variant (paper: "about four times").
+    ratio = nizk_series[-1] / trap_series[-1]
+    assert 2.5 < ratio < 6.0

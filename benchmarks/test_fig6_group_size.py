@@ -1,0 +1,53 @@
+"""Figure 6: time per mixing iteration vs group size (1,024 messages).
+
+"For both schemes, the mixing time increases linearly with the group
+size, since each additional server adds another serial set of shuffling
+and reencryption operations."
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.sim.costmodel import PrimitiveCosts
+from repro.sim.machines import MachineSpec
+from repro.sim.mixnet import GroupMixModel
+from repro.sim.network import NetworkModel
+from repro.sim.runner import DEFAULT_CALIBRATION
+
+GROUP_SIZES = [4, 8, 16, 32, 64]
+MESSAGES = 1024
+
+
+def model_for(k: int, variant: str) -> GroupMixModel:
+    return GroupMixModel(
+        PrimitiveCosts.paper_table3(),
+        NetworkModel(),
+        [MachineSpec(4, 100.0)] * k,
+        variant=variant,
+    )
+
+
+def test_fig6_sweep(benchmark):
+    benchmark(lambda: model_for(32, "trap").iteration_time(2 * MESSAGES))
+
+    rows = []
+    nizk_series, trap_series = [], []
+    for k in GROUP_SIZES:
+        t_nizk = model_for(k, "nizk").iteration_time(MESSAGES) * DEFAULT_CALIBRATION
+        t_trap = model_for(k, "trap").iteration_time(2 * MESSAGES) * DEFAULT_CALIBRATION
+        nizk_series.append(t_nizk)
+        trap_series.append(t_trap)
+        rows.append((k, f"{t_nizk:.1f}", f"{t_trap:.1f}"))
+    print_table(
+        "Figure 6: time per mixing iteration (s), 1,024 messages",
+        ["group size", "NIZK", "trap"],
+        rows,
+    )
+    print("paper anchors: NIZK@64 ~250s; linear in k for both variants")
+
+    # Shape: linear in group size (doubling k doubles the time).
+    for series in (nizk_series, trap_series):
+        for a, b in zip(series, series[1:]):
+            assert b / a == pytest.approx(2.0, rel=0.25)
+    # Shape: NIZK above trap at every size.
+    assert all(n > t for n, t in zip(nizk_series, trap_series))

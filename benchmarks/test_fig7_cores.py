@@ -1,0 +1,66 @@
+"""Figure 7: speed-up of one mixing iteration vs cores per server
+(32-server group; baseline: all servers have four cores).
+
+"The speed-up is nearly linear for the trap-variant... The speed-up of
+the NIZK variant is sub-linear because the NIZK proof generation and
+verification technique we use is inherently sequential."
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.sim.costmodel import PrimitiveCosts
+from repro.sim.machines import MachineSpec, amdahl_speedup, PARALLEL_FRACTION
+from repro.sim.mixnet import GroupMixModel
+from repro.sim.network import NetworkModel
+
+CORE_COUNTS = [4, 8, 16, 36]
+MESSAGES = 16384  # compute-dominated load (Figure 5's upper end)
+
+
+def model_for(variant: str) -> GroupMixModel:
+    return GroupMixModel(
+        PrimitiveCosts.paper_table3(),
+        NetworkModel(),
+        [MachineSpec(4, 100.0)] * 32,
+        variant=variant,
+    )
+
+
+def test_fig7_sweep(benchmark):
+    trap = model_for("trap")
+    nizk = model_for("nizk")
+    benchmark(lambda: trap.iteration_time_with_cores(36, MESSAGES))
+
+    trap_base = trap.iteration_time_with_cores(4, MESSAGES)
+    nizk_base = nizk.iteration_time_with_cores(4, MESSAGES)
+    rows = []
+    trap_speedups, nizk_speedups = [], []
+    for cores in CORE_COUNTS:
+        s_trap = trap_base / trap.iteration_time_with_cores(cores, MESSAGES)
+        s_nizk = nizk_base / nizk.iteration_time_with_cores(cores, MESSAGES)
+        trap_speedups.append(s_trap)
+        nizk_speedups.append(s_nizk)
+        rows.append((cores, f"{s_trap:.2f}x", f"{s_nizk:.2f}x", f"{cores / 4:.0f}x"))
+    print_table(
+        "Figure 7: speed-up over 4-core servers",
+        ["cores", "trap", "NIZK", "ideal"],
+        rows,
+    )
+    print(
+        "paper: trap near-linear (~8x at 36 cores), NIZK sub-linear; "
+        f"parallel fractions used: {PARALLEL_FRACTION}"
+    )
+
+    # Shape: both monotonically increasing.
+    assert trap_speedups == sorted(trap_speedups)
+    assert nizk_speedups == sorted(nizk_speedups)
+    # Shape: trap close to linear, NIZK clearly below trap.
+    assert trap_speedups[-1] > 4.5
+    assert nizk_speedups[-1] < trap_speedups[-1]
+    # Amdahl consistency: the closed-form compute-only speed-up is an
+    # upper bound on the model (network hops and transfers dilute it).
+    closed_form = amdahl_speedup(36, PARALLEL_FRACTION["trap"]) / amdahl_speedup(
+        4, PARALLEL_FRACTION["trap"]
+    )
+    assert trap_speedups[-1] <= closed_form * 1.05

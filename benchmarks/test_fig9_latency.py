@@ -1,0 +1,52 @@
+"""Figure 9: end-to-end latency vs number of messages (1,024 servers,
+microblogging 160 B and dialing 80 B).
+
+"The latency increases linearly with the total number of messages...
+For both applications, our prototype can handle over a million users
+with a latency of 28 minutes."
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.sim import AtomSimulator, SimConfig
+
+MESSAGE_COUNTS = [2 ** 18, 2 ** 19, 2 ** 20, 2 ** 21]
+PAPER_MILLION_MICROBLOG_MIN = 28.2
+PAPER_MILLION_DIAL_MIN = 27.9
+
+
+def test_fig9_sweep(benchmark):
+    micro = AtomSimulator(SimConfig(num_servers=1024, num_groups=1024))
+    dial = AtomSimulator(
+        SimConfig(
+            num_servers=1024, num_groups=1024, application="dialing", message_size=80
+        )
+    )
+    benchmark(lambda: micro.simulate_round(2 ** 20))
+
+    rows = []
+    micro_series, dial_series = [], []
+    for m in MESSAGE_COUNTS:
+        lm = micro.latency_minutes(m)
+        ld = dial.latency_minutes(m)
+        micro_series.append(lm)
+        dial_series.append(ld)
+        rows.append((f"{m / 1e6:.2f}M", f"{lm:.1f}", f"{ld:.1f}"))
+    print_table(
+        "Figure 9: end-to-end latency (min), 1,024 servers",
+        ["messages", "microblog", "dialing"],
+        rows,
+    )
+    print(
+        f"paper anchors: 1M microblog = {PAPER_MILLION_MICROBLOG_MIN} min, "
+        f"1M dialing = {PAPER_MILLION_DIAL_MIN} min; linear growth"
+    )
+
+    # Shape: the headline numbers.
+    assert micro_series[2] == pytest.approx(PAPER_MILLION_MICROBLOG_MIN, rel=0.1)
+    assert dial_series[2] == pytest.approx(PAPER_MILLION_DIAL_MIN, rel=0.15)
+    # Shape: linear in message count (above the fixed dummy offset).
+    assert micro_series[3] / micro_series[2] == pytest.approx(2.0, rel=0.2)
+    # Shape: both applications support >1M users within ~half an hour.
+    assert micro_series[2] < 35 and dial_series[2] < 35

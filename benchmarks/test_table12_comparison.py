@@ -1,0 +1,91 @@
+"""Table 12: latency to support a million users — Atom (128/256/512/
+1024 mixed servers) vs Riposte (microblogging) and Vuvuzela/Alpenhorn
+(dialing), plus the §6.2 bandwidth comparison.
+
+Paper anchors: Atom microblog 228.7/113.4/56.3/28.2 min (2.9x-23.7x
+faster than Riposte's 669.2 min); Atom dialing 225.1-27.9 min (56x-450x
+slower than Vuvuzela's 0.5 min); Atom <1 MB/s per server vs Vuvuzela's
+166 MB/s.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.baselines.alpenhorn import alpenhorn_dial_latency_minutes
+from repro.baselines.riposte import riposte_latency_minutes
+from repro.baselines.vuvuzela import (
+    PAPER_VUVUZELA_SERVER_BANDWIDTH_MB_S,
+    vuvuzela_dial_latency_minutes,
+)
+from repro.sim import AtomSimulator, SimConfig
+
+USERS = 2 ** 20
+SERVER_COUNTS = [128, 256, 512, 1024]
+PAPER_MICROBLOG = {128: 228.7, 256: 113.4, 512: 56.3, 1024: 28.2}
+PAPER_DIAL = {128: 225.1, 256: 112.6, 512: 55.5, 1024: 27.9}
+
+
+def atom_latency(n: int, application: str) -> float:
+    message_size = 160 if application == "microblog" else 80
+    sim = AtomSimulator(
+        SimConfig(
+            num_servers=n,
+            num_groups=n,
+            application=application,
+            message_size=message_size,
+        )
+    )
+    return sim.latency_minutes(USERS)
+
+
+def test_table12(benchmark):
+    benchmark(lambda: atom_latency(1024, "microblog"))
+
+    riposte = riposte_latency_minutes(USERS)
+    vuvuzela = vuvuzela_dial_latency_minutes(USERS)
+    alpenhorn = alpenhorn_dial_latency_minutes(USERS)
+
+    rows = []
+    micro, dial = {}, {}
+    for n in SERVER_COUNTS:
+        micro[n] = atom_latency(n, "microblog")
+        dial[n] = atom_latency(n, "dialing")
+        rows.append(
+            (
+                f"Atom {n}x mixed",
+                f"{micro[n]:.1f} ({riposte / micro[n]:.1f}x)",
+                f"{PAPER_MICROBLOG[n]}",
+                f"{dial[n]:.1f} ({dial[n] / vuvuzela:.0f}x)",
+                f"{PAPER_DIAL[n]}",
+            )
+        )
+    rows.append(("Riposte 3xc4.8xl", f"{riposte:.1f} (1x)", "669.2", "-", "-"))
+    rows.append(("Vuvuzela 3xc4.8xl", "-", "-", f"{vuvuzela:.1f} (1x)", "0.5"))
+    rows.append(("Alpenhorn 3xc4.8xl", "-", "-", f"{alpenhorn:.1f} (1x)", "0.5"))
+    print_table(
+        "Table 12: latency for one million users (min)",
+        ["config", "microblog ours", "paper", "dial ours", "paper"],
+        rows,
+    )
+
+    # --- shape assertions -------------------------------------------------
+    # Who wins microblogging: Atom beats Riposte at every size; the
+    # advantage grows with the network (paper: 2.9x -> 23.7x).
+    speedups = [riposte / micro[n] for n in SERVER_COUNTS]
+    assert all(s > 1 for s in speedups)
+    assert speedups == sorted(speedups)
+    assert speedups[-1] == pytest.approx(23.7, rel=0.25)
+    # Who wins dialing: Vuvuzela, by roughly 56x at 1,024 servers.
+    slowdown = dial[1024] / vuvuzela
+    assert 35 < slowdown < 80
+    # Bandwidth: Atom under 1 MB/s per server vs Vuvuzela's 166 MB/s.
+    result = AtomSimulator(
+        SimConfig(num_servers=1024, num_groups=1024)
+    ).simulate_round(USERS)
+    atom_mb_s = result.per_server_bandwidth_bytes_s / 1e6
+    print(
+        f"\nbandwidth per server: Atom {atom_mb_s:.2f} MB/s vs "
+        f"Vuvuzela {PAPER_VUVUZELA_SERVER_BANDWIDTH_MB_S} MB/s (paper: <1 vs 166)"
+    )
+    assert atom_mb_s < 1.0
+    assert atom_mb_s < PAPER_VUVUZELA_SERVER_BANDWIDTH_MB_S / 100

@@ -1,0 +1,145 @@
+"""Table 3: latency of the cryptographic primitives.
+
+Times our pure-Python substrate (P256ISH, a 256-bit Schnorr group, and
+single ops on the RFC 3526 2048-bit group) and prints it next to the
+paper's P-256/Go numbers.  Absolute values differ (pure Python vs Go
+native crypto); the *ordering* and ratios — ReEnc > Enc, ShufProof ≫
+Shuffle, verify > prove for shuffles — must match.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.crypto.elgamal import AtomElGamal
+from repro.crypto.groups import get_group
+from repro.crypto.nizk import (
+    prove_encryption,
+    prove_reencryption,
+    verify_encryption,
+    verify_reencryption,
+)
+from repro.crypto.shuffle_proof import prove_shuffle, verify_shuffle
+from repro.sim.costmodel import PrimitiveCosts
+
+PAPER = PrimitiveCosts.paper_table3()
+BATCH = 64  # shuffle batch (scaled to the paper's per-1,024 figures)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    group = get_group("P256ISH")
+    scheme = AtomElGamal(group)
+    kp = scheme.keygen()
+    nxt = scheme.keygen()
+    message = group.encode(b"table3 benchmark")
+    ct, r = scheme.encrypt(kp.public, message)
+    cts = [scheme.encrypt(kp.public, message)[0] for _ in range(BATCH)]
+    return group, scheme, kp, nxt, message, ct, r, cts
+
+
+def test_enc(benchmark, setup):
+    group, scheme, kp, nxt, message, ct, r, cts = setup
+    result = benchmark(lambda: scheme.encrypt(kp.public, message))
+    assert result is not None
+
+
+def test_reenc(benchmark, setup):
+    group, scheme, kp, nxt, message, ct, r, cts = setup
+    benchmark(lambda: scheme.reencrypt(kp.secret, nxt.public, ct))
+
+
+def test_shuffle_batch(benchmark, setup):
+    group, scheme, kp, nxt, message, ct, r, cts = setup
+    benchmark(lambda: scheme.shuffle(kp.public, cts))
+
+
+def test_encproof_prove(benchmark, setup):
+    group, scheme, kp, nxt, message, ct, r, cts = setup
+    benchmark(lambda: prove_encryption(group, ct, r, kp.public, 0))
+
+
+def test_encproof_verify(benchmark, setup):
+    group, scheme, kp, nxt, message, ct, r, cts = setup
+    proof = prove_encryption(group, ct, r, kp.public, 0)
+    assert benchmark(lambda: verify_encryption(group, ct, proof, kp.public, 0))
+
+
+def test_reencproof_prove(benchmark, setup):
+    group, scheme, kp, nxt, message, ct, r, cts = setup
+    rr = group.random_scalar()
+    out = scheme.reencrypt(kp.secret, nxt.public, ct, randomness=rr)
+    benchmark(
+        lambda: prove_reencryption(group, kp.secret, rr, nxt.public, ct, out)
+    )
+
+
+def test_reencproof_verify(benchmark, setup):
+    group, scheme, kp, nxt, message, ct, r, cts = setup
+    rr = group.random_scalar()
+    out = scheme.reencrypt(kp.secret, nxt.public, ct, randomness=rr)
+    proof = prove_reencryption(group, kp.secret, rr, nxt.public, ct, out)
+    assert benchmark(
+        lambda: verify_reencryption(group, kp.public, nxt.public, ct, out, proof)
+    )
+
+
+def test_shufproof_prove(benchmark, setup):
+    group, scheme, kp, nxt, message, ct, r, cts = setup
+    shuffled, perm, rands = scheme.shuffle(kp.public, cts)
+    benchmark.pedantic(
+        lambda: prove_shuffle(group, kp.public, cts, shuffled, perm, rands, rounds=8),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_shufproof_verify_and_report(benchmark, setup):
+    """Times verification, then prints the full Table 3 comparison."""
+    import time
+
+    group, scheme, kp, nxt, message, ct, r, cts = setup
+    shuffled, perm, rands = scheme.shuffle(kp.public, cts)
+    proof = prove_shuffle(group, kp.public, cts, shuffled, perm, rands, rounds=8)
+    assert benchmark.pedantic(
+        lambda: verify_shuffle(group, kp.public, cts, shuffled, proof, rounds=8),
+        rounds=1,
+        iterations=1,
+    )
+
+    def once(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    ours = {
+        "Enc": once(lambda: scheme.encrypt(kp.public, message)),
+        "ReEnc": once(lambda: scheme.reencrypt(kp.secret, nxt.public, ct)),
+        "Shuffle (per msg)": once(lambda: scheme.shuffle(kp.public, cts)) / BATCH,
+        "EncProof prove": once(lambda: prove_encryption(group, ct, r, kp.public, 0)),
+        "ShufProof prove (per msg)": once(
+            lambda: prove_shuffle(group, kp.public, cts, shuffled, perm, rands, 8)
+        )
+        / BATCH,
+        "ShufProof verify (per msg)": once(
+            lambda: verify_shuffle(group, kp.public, cts, shuffled, proof, 8)
+        )
+        / BATCH,
+    }
+    paper = {
+        "Enc": PAPER.enc,
+        "ReEnc": PAPER.reenc,
+        "Shuffle (per msg)": PAPER.shuffle_per_msg,
+        "EncProof prove": PAPER.encproof_prove,
+        "ShufProof prove (per msg)": PAPER.shufproof_prove_per_msg,
+        "ShufProof verify (per msg)": PAPER.shufproof_verify_per_msg,
+    }
+    rows = [
+        (name, f"{paper[name]:.2e}", f"{ours[name]:.2e}")
+        for name in paper
+    ]
+    print_table("Table 3: primitive latencies (s)", ["primitive", "paper", "ours"], rows)
+
+    # Shape assertions the rest of the evaluation relies on:
+    assert ours["ReEnc"] > ours["Enc"]
+    assert ours["ShufProof prove (per msg)"] > ours["Shuffle (per msg)"]
+    assert ours["ShufProof verify (per msg)"] > ours["Shuffle (per msg)"]

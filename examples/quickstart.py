@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: run one full Atom round in-process.
+
+Builds a small deployment (2 anytrust groups of 3 servers, square
+topology, trap variant — the configuration the paper evaluates), routes
+eight messages through T mixing iterations, and prints the anonymized
+output.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AtomDeployment, DeploymentConfig
+
+
+def main() -> None:
+    config = DeploymentConfig(
+        num_servers=8,
+        num_groups=2,
+        group_size=3,
+        variant="trap",       # trap-based active-attack defense (§4.4)
+        iterations=4,         # mixing iterations T (paper uses 10 at scale)
+        message_size=24,
+        crypto_group="TEST",  # 128-bit Schnorr group
+    )
+    deployment = AtomDeployment(config)
+
+    print(f"deployment: {config.num_groups} groups of {config.group_size} "
+          f"servers, {config.iterations} mixing iterations, {config.variant} variant")
+    print(f"payload: {deployment.spec.payload_size} bytes "
+          f"({deployment.spec.elements_per_message} group elements/message)\n")
+
+    rnd = deployment.start_round(round_id=0)
+    messages = [f"anonymous message #{i}".encode() for i in range(8)]
+    for index, message in enumerate(messages):
+        user = deployment.submit_trap(rnd, message, entry_gid=index % 2)
+        print(f"user {user} -> entry group {index % 2}: {message.decode()}")
+
+    result = deployment.run_round(rnd)
+
+    print(f"\nround {'SUCCEEDED' if result.ok else 'ABORTED: ' + result.abort_reason}")
+    print(f"traps checked: {result.num_traps_checked}, "
+          f"bytes moved: {result.bytes_sent_total:,}")
+    print("\nanonymized output (order is the mixed permutation):")
+    for message in result.messages:
+        print(f"  {message.decode()}")
+
+    assert sorted(result.messages) == sorted(messages), "correctness violated!"
+    print("\nall submitted messages delivered — correctness holds (§2.2)")
+
+
+if __name__ == "__main__":
+    main()

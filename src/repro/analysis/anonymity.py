@@ -1,0 +1,72 @@
+"""Anonymity metrics: how close is the network's output permutation to
+uniform? (validates the §3 random-permutation-network claim).
+
+For small message counts we can estimate the distribution of output
+positions per input message over many protocol runs and test uniformity
+with a chi-squared statistic; we also compute the anonymity-set size
+under trap-variant tampering (§4.4: each successful tampering removes
+one honest message from the set).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+
+def position_histogram(permutations: Sequence[Sequence[int]]) -> List[Counter]:
+    """``hist[i][p]`` counts how often input i landed at output p."""
+    if not permutations:
+        return []
+    n = len(permutations[0])
+    hist = [Counter() for _ in range(n)]
+    for perm in permutations:
+        if len(perm) != n:
+            raise ValueError("inconsistent permutation sizes")
+        for inp, out in enumerate(perm):
+            hist[inp][out] += 1
+    return hist
+
+
+def chi_squared_uniformity(permutations: Sequence[Sequence[int]]) -> Tuple[float, int]:
+    """Chi-squared statistic of output positions against uniform.
+
+    Returns (statistic, degrees of freedom); a statistic near the dof
+    indicates uniformity.  Tests compare against a generous threshold
+    rather than an exact p-value (scipy is available for finer work).
+    """
+    hist = position_histogram(permutations)
+    n = len(hist)
+    trials = len(permutations)
+    expected = trials / n
+    stat = 0.0
+    for counter in hist:
+        for position in range(n):
+            observed = counter.get(position, 0)
+            stat += (observed - expected) ** 2 / expected
+    dof = n * (n - 1)
+    return stat, dof
+
+
+def shannon_anonymity_bits(anonymity_set_size: int) -> float:
+    """Entropy of a uniform anonymity set."""
+    if anonymity_set_size < 1:
+        raise ValueError("anonymity set must be non-empty")
+    return math.log2(anonymity_set_size)
+
+
+def tampering_anonymity_loss(
+    num_honest: int, kappa: int
+) -> Tuple[int, float, float]:
+    """§4.4's trade-off: removing ``kappa`` messages succeeds with
+    probability 2^-kappa and shrinks the set by ``kappa``.
+
+    Returns (remaining set size, success probability, remaining bits).
+    """
+    if kappa < 0 or kappa > num_honest:
+        raise ValueError("0 <= kappa <= num_honest required")
+    remaining = num_honest - kappa
+    probability = 2.0 ** (-kappa)
+    bits = shannon_anonymity_bits(max(1, remaining))
+    return remaining, probability, bits

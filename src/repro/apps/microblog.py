@@ -1,0 +1,72 @@
+"""Anonymous microblogging over Atom (paper §5).
+
+Users broadcast fixed-size short messages (the paper evaluates 160-byte
+"tweets"); the exit servers publish the anonymized plaintexts to a
+public bulletin board that anyone can read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core import AtomDeployment, DeploymentConfig
+from repro.core.protocol import RoundResult
+
+#: The paper's microblogging message size (§5).
+TWEET_BYTES = 160
+
+
+@dataclass
+class BulletinBoard:
+    """Public append-only board of anonymized posts, by round."""
+
+    posts_by_round: dict = field(default_factory=dict)
+
+    def publish(self, round_id: int, messages: Sequence[bytes]) -> None:
+        self.posts_by_round.setdefault(round_id, []).extend(messages)
+
+    def read(self, round_id: int) -> List[bytes]:
+        return list(self.posts_by_round.get(round_id, []))
+
+    def all_posts(self) -> List[bytes]:
+        return [m for msgs in self.posts_by_round.values() for m in msgs]
+
+
+class MicroblogService:
+    """Glue between an Atom deployment and a bulletin board."""
+
+    def __init__(
+        self,
+        deployment: Optional[AtomDeployment] = None,
+        config: Optional[DeploymentConfig] = None,
+    ):
+        if deployment is None:
+            deployment = AtomDeployment(config or DeploymentConfig())
+        self.deployment = deployment
+        self.board = BulletinBoard()
+
+    def run_round(self, round_id: int, posts: Sequence[bytes]) -> RoundResult:
+        """Route one round of posts and publish the outputs.
+
+        Posts are distributed round-robin over entry groups (the
+        paper's untrusted load balancer); counts must divide evenly.
+        """
+        for post in posts:
+            if len(post) > self.deployment.config.message_size:
+                raise ValueError(
+                    f"post of {len(post)} bytes exceeds the "
+                    f"{self.deployment.config.message_size}-byte limit"
+                )
+        rnd = self.deployment.start_round(round_id)
+        groups = self.deployment.config.num_groups
+        for index, post in enumerate(posts):
+            gid = index % groups
+            if self.deployment.config.variant == "trap":
+                self.deployment.submit_trap(rnd, post, gid)
+            else:
+                self.deployment.submit_plain(rnd, post, gid)
+        result = self.deployment.run_round(rnd)
+        if result.ok:
+            self.board.publish(round_id, result.messages)
+        return result

@@ -1,0 +1,29 @@
+"""Baseline systems Atom is compared against (paper §6.2, Table 12).
+
+Functional mini-implementations validate that each baseline does what
+the comparison claims; calibrated cost models anchored to the papers'
+published numbers regenerate Table 12.
+
+- :mod:`repro.baselines.dpf` — 2-server distributed point functions
+  (naive and sqrt-compressed), Riposte's write primitive.
+- :mod:`repro.baselines.riposte` — Riposte: anonymous microblogging
+  with a DPF-written shared database; quadratic server work.
+- :mod:`repro.baselines.vuvuzela` — Vuvuzela: centralized anytrust
+  onion chain with differential-privacy noise; dialing support.
+- :mod:`repro.baselines.alpenhorn` — Alpenhorn: dialing latency model.
+"""
+
+from repro.baselines.dpf import NaiveDpf, SqrtDpf
+from repro.baselines.riposte import RiposteServerPair, riposte_latency_minutes
+from repro.baselines.vuvuzela import VuvuzelaChain, vuvuzela_dial_latency_minutes
+from repro.baselines.alpenhorn import alpenhorn_dial_latency_minutes
+
+__all__ = [
+    "NaiveDpf",
+    "SqrtDpf",
+    "RiposteServerPair",
+    "riposte_latency_minutes",
+    "VuvuzelaChain",
+    "vuvuzela_dial_latency_minutes",
+    "alpenhorn_dial_latency_minutes",
+]

@@ -1,0 +1,32 @@
+"""Alpenhorn baseline (paper §6.2, Table 12).
+
+Alpenhorn [50] bootstraps private communication: its dialing protocol
+uses identity-based encryption with ~300-byte messages through the same
+centralized anytrust topology as Vuvuzela.  Table 12 reports ~0.5
+minutes for a million dialing users on three c4.8xlarge machines, and
+the paper notes Alpenhorn suggests dialing rounds every few hours due
+to client bandwidth — the window within which Atom's 28 minutes also
+comfortably fits (§6.2).
+"""
+
+from __future__ import annotations
+
+#: Table 12 anchor: 1M dialing users in ~0.5 minutes.
+PAPER_ALPENHORN_MILLION_MINUTES = 0.5
+#: Alpenhorn's IBE-based dialing message size (§5).
+ALPENHORN_MESSAGE_BYTES = 300
+#: Suggested dialing cadence (§6.2): once every few hours.
+SUGGESTED_ROUND_INTERVAL_HOURS = 2.0
+
+
+def alpenhorn_dial_latency_minutes(num_users: int) -> float:
+    """Linear model anchored at the published 1M-user point."""
+    if num_users < 0:
+        raise ValueError("user count must be non-negative")
+    return PAPER_ALPENHORN_MILLION_MINUTES * num_users / 1_000_000
+
+
+def atom_fits_dialing_cadence(atom_latency_minutes: float) -> bool:
+    """§6.2's qualitative claim: Atom supports dialing at Alpenhorn's
+    suggested round cadence despite its higher latency."""
+    return atom_latency_minutes <= SUGGESTED_ROUND_INTERVAL_HOURS * 60

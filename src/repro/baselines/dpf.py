@@ -1,0 +1,151 @@
+"""Two-server distributed point functions (Riposte's write primitive).
+
+A DPF splits the point function ``f(x) = m if x == target else 0``
+into two keys, one per server, such that neither key alone reveals
+``target`` or ``m``, but the XOR of the two expanded tables is exactly
+the point function.
+
+Two constructions:
+
+- :class:`NaiveDpf` — full-length random vector and its correction:
+  O(n) key size, the conceptual baseline.
+- :class:`SqrtDpf` — Riposte's sqrt-compression: view the table as a
+  sqrt(n) x sqrt(n) matrix; keys hold one PRG seed per row (equal on
+  all rows except the target's) plus one correction word, giving
+  O(sqrt(n)) key size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import secrets
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _prg(seed: bytes, length: int) -> bytes:
+    """SHA3-CTR pseudorandom generator."""
+    out = []
+    for counter in range((length + 31) // 32):
+        out.append(
+            hashlib.sha3_256(b"repro.dpf.prg|" + seed + counter.to_bytes(4, "big")).digest()
+        )
+    return b"".join(out)[:length]
+
+
+@dataclass(frozen=True)
+class NaiveDpfKey:
+    share: Tuple[bytes, ...]
+
+
+class NaiveDpf:
+    """O(n)-size XOR-sharing of a point function."""
+
+    def __init__(self, num_slots: int, slot_bytes: int):
+        if num_slots < 1 or slot_bytes < 1:
+            raise ValueError("need positive table dimensions")
+        self.num_slots = num_slots
+        self.slot_bytes = slot_bytes
+
+    def generate(self, target: int, message: bytes) -> Tuple[NaiveDpfKey, NaiveDpfKey]:
+        if not 0 <= target < self.num_slots:
+            raise IndexError("target out of range")
+        message = message.ljust(self.slot_bytes, b"\x00")
+        if len(message) != self.slot_bytes:
+            raise ValueError("message exceeds slot size")
+        share_a = [secrets.token_bytes(self.slot_bytes) for _ in range(self.num_slots)]
+        share_b = list(share_a)
+        share_b[target] = _xor(share_a[target], message)
+        return NaiveDpfKey(tuple(share_a)), NaiveDpfKey(tuple(share_b))
+
+    def expand(self, key: NaiveDpfKey) -> List[bytes]:
+        return list(key.share)
+
+    @staticmethod
+    def combine(table_a: List[bytes], table_b: List[bytes]) -> List[bytes]:
+        return [_xor(a, b) for a, b in zip(table_a, table_b)]
+
+
+@dataclass(frozen=True)
+class SqrtDpfKey:
+    """One server's key: per-row (flag, seed) plus the correction word."""
+
+    rows: Tuple[Tuple[int, bytes], ...]
+    correction: bytes
+
+
+class SqrtDpf:
+    """Riposte's O(sqrt(n))-size two-server DPF."""
+
+    SEED_BYTES = 16
+
+    def __init__(self, num_slots: int, slot_bytes: int):
+        if num_slots < 1 or slot_bytes < 1:
+            raise ValueError("need positive table dimensions")
+        self.num_slots = num_slots
+        self.slot_bytes = slot_bytes
+        self.side = math.ceil(math.sqrt(num_slots))
+        self.row_bytes = self.side * slot_bytes
+
+    def _coords(self, index: int) -> Tuple[int, int]:
+        return divmod(index, self.side)
+
+    def generate(self, target: int, message: bytes) -> Tuple[SqrtDpfKey, SqrtDpfKey]:
+        if not 0 <= target < self.num_slots:
+            raise IndexError("target out of range")
+        message = message.ljust(self.slot_bytes, b"\x00")
+        if len(message) != self.slot_bytes:
+            raise ValueError("message exceeds slot size")
+        row, col = self._coords(target)
+
+        rows_a, rows_b = [], []
+        seed_a_target = secrets.token_bytes(self.SEED_BYTES)
+        seed_b_target = secrets.token_bytes(self.SEED_BYTES)
+        for r in range(self.side):
+            if r == row:
+                # Flags differ on the target row (their XOR selects the
+                # correction word); which side carries 1 is random, so a
+                # single key reveals nothing about the target row.
+                flip = secrets.randbelow(2)
+                rows_a.append((flip, seed_a_target))
+                rows_b.append((1 - flip, seed_b_target))
+            else:
+                # Identical flags and seeds: contributions cancel.
+                shared = secrets.token_bytes(self.SEED_BYTES)
+                flag = secrets.randbelow(2)
+                rows_a.append((flag, shared))
+                rows_b.append((flag, shared))
+
+        point_row = bytearray(self.row_bytes)
+        point_row[col * self.slot_bytes: (col + 1) * self.slot_bytes] = message
+        correction = _xor(
+            _xor(_prg(seed_a_target, self.row_bytes), _prg(seed_b_target, self.row_bytes)),
+            bytes(point_row),
+        )
+        return (
+            SqrtDpfKey(tuple(rows_a), correction),
+            SqrtDpfKey(tuple(rows_b), correction),
+        )
+
+    def expand(self, key: SqrtDpfKey) -> List[bytes]:
+        """Expand a key to a full table of ``side * side`` slots."""
+        table: List[bytes] = []
+        for flag, seed in key.rows:
+            row = _prg(seed, self.row_bytes)
+            if flag:
+                row = _xor(row, key.correction)
+            for c in range(self.side):
+                table.append(row[c * self.slot_bytes: (c + 1) * self.slot_bytes])
+        return table[: self.num_slots]
+
+    @staticmethod
+    def combine(table_a: List[bytes], table_b: List[bytes]) -> List[bytes]:
+        return [_xor(a, b) for a, b in zip(table_a, table_b)]
+
+    def key_size_bytes(self, key: SqrtDpfKey) -> int:
+        return len(key.rows) * (1 + self.SEED_BYTES) + len(key.correction)

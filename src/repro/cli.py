@@ -1,0 +1,154 @@
+"""Command-line interface for the Atom reproduction.
+
+Usage (after ``pip install -e .``):
+
+    python -m repro.cli round --users 8 --groups 2 --variant trap
+    python -m repro.cli simulate --servers 1024 --messages 1048576
+    python -m repro.cli group-size --f 0.2 --groups 1024 --h 2
+    python -m repro.cli costs --cores 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_round(args: argparse.Namespace) -> int:
+    """Run a real in-process protocol round."""
+    from repro.core import AtomDeployment, DeploymentConfig
+
+    config = DeploymentConfig(
+        num_servers=max(args.groups * args.group_size, 2 * args.group_size),
+        num_groups=args.groups,
+        group_size=args.group_size,
+        variant=args.variant,
+        iterations=args.iterations,
+        message_size=args.message_size,
+        crypto_group=args.crypto_group,
+    )
+    deployment = AtomDeployment(config)
+    rnd = deployment.start_round(0)
+    unit = deployment.required_user_multiple()
+    users = -(-args.users // unit) * unit
+    if users != args.users:
+        print(f"(padding {args.users} -> {users} users for even batches)")
+    for i in range(users):
+        message = f"user {i} says hi".encode()[: args.message_size]
+        if args.variant == "trap":
+            deployment.submit_trap(rnd, message, entry_gid=i % args.groups)
+        else:
+            deployment.submit_plain(rnd, message, entry_gid=i % args.groups)
+    result = deployment.run_round(rnd)
+    print(f"round: {'ok' if result.ok else 'ABORTED: ' + result.abort_reason}")
+    print(f"messages out: {len(result.messages)}, "
+          f"bytes moved: {result.bytes_sent_total:,}")
+    for message in result.messages[:10]:
+        print(" ", message)
+    if len(result.messages) > 10:
+        print(f"  ... and {len(result.messages) - 10} more")
+    return 0 if result.ok else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run the calibrated performance simulator."""
+    from repro.sim import AtomSimulator, SimConfig
+
+    sim = AtomSimulator(
+        SimConfig(
+            num_servers=args.servers,
+            num_groups=args.servers,
+            variant=args.variant,
+            application=args.application,
+            message_size=160 if args.application == "microblog" else 80,
+        )
+    )
+    result = sim.simulate_round(args.messages)
+    print(f"{args.messages:,} messages on {args.servers} servers "
+          f"({args.variant}, {args.application}):")
+    print(f"  total latency: {result.total_minutes:.1f} min "
+          f"({result.total_hours:.2f} hr)")
+    print(f"  per iteration: {result.per_iteration_s:.1f} s, "
+          f"entry {result.entry_s:.1f} s, exit {result.exit_s:.1f} s, "
+          f"connection overhead {result.overhead_s:.1f} s")
+    print(f"  ciphertexts routed: {result.ciphertexts_routed:,}")
+    print(f"  per-server bandwidth: "
+          f"{result.per_server_bandwidth_bytes_s / 1e6:.2f} MB/s")
+    return 0
+
+
+def cmd_group_size(args: argparse.Namespace) -> int:
+    """Group-size math (§4.1 / Appendix B)."""
+    from repro.analysis.groups_math import (
+        manytrust_failure_probability,
+        minimum_group_size,
+    )
+
+    k = minimum_group_size(args.f, args.groups, args.h, args.security)
+    prob = manytrust_failure_probability(k, args.f, args.h, args.groups)
+    print(f"f={args.f}, G={args.groups}, h={args.h}, target 2^-{args.security}:")
+    print(f"  required group size k = {k} (failure probability {prob:.2e})")
+    print(f"  active servers per iteration: k-(h-1) = {k - (args.h - 1)}")
+    return 0
+
+
+def cmd_costs(args: argparse.Namespace) -> int:
+    """§7 deployment cost estimate."""
+    from repro.analysis.costs import estimate_server_cost
+
+    est = estimate_server_cost(args.cores)
+    print(f"{args.cores}-core trap-variant server (§7 estimates):")
+    print(f"  reencryption: {est.reencrypt_msgs_per_s:,.0f} msgs/s")
+    print(f"  shuffling:    {est.shuffle_msgs_per_s:,.0f} msgs/s")
+    print(f"  bandwidth:    {est.bandwidth_bytes_per_s / 1e3:.0f} KB/s")
+    print(f"  compute:      ${est.compute_usd_month:,.0f}/month")
+    print(f"  bandwidth:    ${est.bandwidth_usd_month:,.2f}/month")
+    print(f"  total:        ${est.total_usd_month:,.2f}/month")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Atom (SOSP 2017) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_round = sub.add_parser("round", help="run a real protocol round")
+    p_round.add_argument("--users", type=int, default=8)
+    p_round.add_argument("--groups", type=int, default=2)
+    p_round.add_argument("--group-size", type=int, default=3)
+    p_round.add_argument("--variant", choices=["basic", "nizk", "trap"], default="trap")
+    p_round.add_argument("--iterations", type=int, default=4)
+    p_round.add_argument("--message-size", type=int, default=24)
+    p_round.add_argument("--crypto-group", default="TEST")
+    p_round.set_defaults(func=cmd_round)
+
+    p_sim = sub.add_parser("simulate", help="run the performance simulator")
+    p_sim.add_argument("--servers", type=int, default=1024)
+    p_sim.add_argument("--messages", type=int, default=2 ** 20)
+    p_sim.add_argument("--variant", choices=["basic", "nizk", "trap"], default="trap")
+    p_sim.add_argument(
+        "--application", choices=["microblog", "dialing"], default="microblog"
+    )
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_gs = sub.add_parser("group-size", help="anytrust/many-trust group sizing")
+    p_gs.add_argument("--f", type=float, default=0.2)
+    p_gs.add_argument("--groups", type=int, default=1024)
+    p_gs.add_argument("--h", type=int, default=1)
+    p_gs.add_argument("--security", type=int, default=64)
+    p_gs.set_defaults(func=cmd_group_size)
+
+    p_costs = sub.add_parser("costs", help="deployment cost estimate (§7)")
+    p_costs.add_argument("--cores", type=int, default=4)
+    p_costs.set_defaults(func=cmd_costs)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

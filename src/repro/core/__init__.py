@@ -1,0 +1,35 @@
+"""The Atom protocol (paper §2–§4).
+
+Layered as the paper presents it:
+
+- :mod:`repro.core.messages` — wire formats: padding, trap payloads
+  (``gid‖R‖T``), inner-ciphertext payloads (``EncCCA2(...)‖M``).
+- :mod:`repro.core.server` — server identity, per-round keys, fault and
+  adversary state.
+- :mod:`repro.core.directory` — the directory authority: registry,
+  anytrust / many-trust group formation from beacon randomness (§4.1),
+  staggered positioning (§4.7).
+- :mod:`repro.core.group` — the group mixing protocol: Algorithm 1
+  (basic), and Algorithm 2 (NIZK-verified).
+- :mod:`repro.core.client` — user-side submission for every variant.
+- :mod:`repro.core.trustees` — the trap variant's extra anytrust group.
+- :mod:`repro.core.protocol` — full-deployment orchestration: entry
+  collection, T mixing iterations over the permutation network, exit
+  handling, trap checks, key release, fault recovery hooks.
+- :mod:`repro.core.faults` — many-trust churn tolerance and buddy-group
+  recovery (§4.5).
+- :mod:`repro.core.blame` — malicious-user identification (§4.6).
+"""
+
+from repro.core.protocol import AtomDeployment, DeploymentConfig, RoundResult
+from repro.core.client import Client
+from repro.core.server import AtomServer, Behavior
+
+__all__ = [
+    "AtomDeployment",
+    "DeploymentConfig",
+    "RoundResult",
+    "Client",
+    "AtomServer",
+    "Behavior",
+]

@@ -1,0 +1,102 @@
+"""Malicious-user identification after a disrupted round (paper §4.6).
+
+In the trap variant, a malicious *user* can disrupt a round by
+submitting (1) a trap that does not match its commitment (or reusing
+someone's gid with garbage), or (2) duplicate inner ciphertexts.  These
+are only detected after routing completes, so the round aborts — and
+then this protocol assigns blame:
+
+1. every entry group reveals its per-round private keys,
+2. every submission is decrypted back to its two payloads,
+3. a user is reported if its trap payload does not match its
+   commitment, if it submitted zero or two traps, or if its inner
+   ciphertext duplicates another user's.
+
+The revealed keys are per-round mixing keys, so no *other* round's
+traffic is exposed, and the aborted round's inner ciphertexts remain
+protected by the trustees' (never released) key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core import messages as fmt
+from repro.core.client import TrapSubmission
+from repro.core.group import GroupContext
+from repro.crypto.commit import verify_commitment
+from repro.crypto.vector import CiphertextVector
+
+
+@dataclass(frozen=True)
+class BlameReport:
+    """Outcome of the §4.6 identification protocol."""
+
+    bad_trap_users: Tuple[int, ...]
+    duplicate_inner_users: Tuple[int, ...]
+
+    @property
+    def all_blamed(self) -> Tuple[int, ...]:
+        return tuple(sorted(set(self.bad_trap_users) | set(self.duplicate_inner_users)))
+
+
+def _decrypt_submission_payload(ctx: GroupContext, vector: CiphertextVector) -> bytes:
+    """Decrypt a user submission with the revealed entry-group keys."""
+    secrets_list = ctx.reveal_secrets()
+    if ctx.mode == "anytrust":
+        total = sum(secrets_list) % ctx.group.q
+    else:
+        from repro.crypto.secret_sharing import Share, shamir_reconstruct
+
+        shares = [Share(i + 1, v) for i, v in enumerate(secrets_list)]
+        total = shamir_reconstruct(ctx.group, shares[: ctx.threshold])
+    plain_parts = [ctx.scheme.decrypt(total, part) for part in vector.parts]
+    return ctx.group.decode_chunks(plain_parts)
+
+
+def identify_malicious_users(
+    entry_groups: Sequence[GroupContext],
+    submissions: Dict[int, Tuple[int, TrapSubmission]],
+) -> BlameReport:
+    """Run the identification protocol over all entry groups.
+
+    ``submissions`` maps user id to (entry gid, its trap submission),
+    as recorded by the entry groups during collection.
+    """
+    by_gid: Dict[int, GroupContext] = {ctx.gid: ctx for ctx in entry_groups}
+    bad_trap_users: List[int] = []
+    inner_owner: Dict[bytes, int] = {}
+    duplicate_users: List[int] = []
+
+    for user_id, (gid, submission) in sorted(submissions.items()):
+        ctx = by_gid[gid]
+        payloads = [
+            _decrypt_submission_payload(ctx, sub.vector) for sub in submission.pair
+        ]
+        traps = [p for p in payloads if fmt.is_trap_payload(p)]
+        inners = [p for p in payloads if fmt.is_inner_payload(p)]
+
+        if len(traps) != 1 or len(inners) != 1:
+            bad_trap_users.append(user_id)
+            continue
+        trap = traps[0]
+        if not verify_commitment(submission.trap_commitment, trap):
+            bad_trap_users.append(user_id)
+            continue
+        trap_gid, _ = fmt.parse_trap_payload(trap)
+        if trap_gid != gid:
+            bad_trap_users.append(user_id)
+            continue
+
+        inner = inners[0]
+        if inner in inner_owner:
+            duplicate_users.append(user_id)
+            duplicate_users.append(inner_owner[inner])
+        else:
+            inner_owner[inner] = user_id
+
+    return BlameReport(
+        bad_trap_users=tuple(sorted(set(bad_trap_users))),
+        duplicate_inner_users=tuple(sorted(set(duplicate_users))),
+    )

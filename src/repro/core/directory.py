@@ -1,0 +1,150 @@
+"""Directory authority: server registry and group formation (§4.1, §4.7).
+
+The directory knows the set of participating servers and their keys
+(the paper assumes a fault-tolerant cluster of directory authorities,
+as in Tor).  Each round it:
+
+1. derives the required group size ``k`` from the adversarial fraction
+   ``f``, the group count ``G``, the fault parameter ``h``, and the
+   2^-64 security target (:mod:`repro.analysis.groups_math`);
+2. samples ``G`` groups of ``k`` servers from the public randomness
+   beacon;
+3. *staggers* member positions across groups (§4.7): server ``s``
+   appearing in several groups occupies a different position in each,
+   so that pipelined groups keep every server busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.groups_math import minimum_group_size
+from repro.core.group import GroupContext
+from repro.core.server import AtomServer
+from repro.crypto.beacon import RandomnessBeacon
+from repro.crypto.groups import DeterministicRng, Group
+
+
+@dataclass
+class DirectoryConfig:
+    """Group-formation parameters."""
+
+    adversarial_fraction: float = 0.2
+    security_exponent: int = 64
+    h: int = 1  # required honest servers per group (h=1: anytrust)
+    mode: str = "anytrust"
+    #: override the computed group size (tests use tiny groups)
+    group_size: Optional[int] = None
+    nizk_rounds: int = 8
+
+
+class Directory:
+    """Registry of servers plus per-round group formation."""
+
+    def __init__(
+        self,
+        servers: Sequence[AtomServer],
+        group: Group,
+        beacon: Optional[RandomnessBeacon] = None,
+        config: Optional[DirectoryConfig] = None,
+    ):
+        if not servers:
+            raise ValueError("directory needs at least one server")
+        self.servers = list(servers)
+        self.group = group
+        self.beacon = beacon or RandomnessBeacon()
+        self.config = config or DirectoryConfig()
+
+    def required_group_size(self, num_groups: int) -> int:
+        """Group size meeting the security target (or the override)."""
+        if self.config.group_size is not None:
+            return self.config.group_size
+        return minimum_group_size(
+            self.config.adversarial_fraction,
+            num_groups,
+            self.config.h,
+            self.config.security_exponent,
+        )
+
+    def form_groups(
+        self,
+        round_id: int,
+        num_groups: int,
+        rng: Optional[DeterministicRng] = None,
+    ) -> List[GroupContext]:
+        """Sample and instantiate the round's groups (§4.1).
+
+        Positions are staggered: group ``g``'s member list is rotated by
+        ``g`` so a server serving in many groups holds a different rank
+        in each (§4.7 "Ensuring maximal server utilization").
+        """
+        k = self.required_group_size(num_groups)
+        memberships = self.beacon.sample_groups(
+            round_id, len(self.servers), num_groups, k
+        )
+        contexts = []
+        for gid, member_ids in enumerate(memberships):
+            rotation = gid % k
+            ordered = member_ids[rotation:] + member_ids[:rotation]
+            members = [self.servers[i] for i in ordered]
+            contexts.append(
+                GroupContext(
+                    gid=gid,
+                    servers=members,
+                    group=self.group,
+                    mode=self.config.mode,
+                    h=self.config.h if self.config.mode == "manytrust" else 1,
+                    rng=rng,
+                    nizk_rounds=self.config.nizk_rounds,
+                )
+            )
+        return contexts
+
+    def utilization_positions(self, contexts: Sequence[GroupContext]) -> List[List[int]]:
+        """For analysis: position of each server in each group it joins."""
+        positions: List[List[int]] = [[] for _ in self.servers]
+        for ctx in contexts:
+            for pos, server in enumerate(ctx.servers):
+                positions[server.server_id].append(pos)
+        return positions
+
+
+def make_fleet(
+    num_servers: int,
+    group: Group,
+    cores_distribution: Optional[Sequence[tuple]] = None,
+) -> List[AtomServer]:
+    """Build the paper's heterogeneous fleet (§6.2).
+
+    Default mix: 80% 4-core, 10% 8-core, 5% 16-core, 5% 32-core, with
+    the Tor-derived bandwidth mix (80% <100 Mbps, 10% 100–200, 5%
+    200–300, 5% >300).
+    """
+    if cores_distribution is None:
+        cores_distribution = [
+            (0.80, 4, 100.0),
+            (0.10, 8, 150.0),
+            (0.05, 16, 250.0),
+            (0.05, 32, 350.0),
+        ]
+    servers: List[AtomServer] = []
+    boundaries = []
+    acc = 0.0
+    for fraction, cores, bw in cores_distribution:
+        acc += fraction
+        boundaries.append((acc, cores, bw))
+    for sid in range(num_servers):
+        u = (sid + 0.5) / num_servers
+        for bound, cores, bw in boundaries:
+            if u <= bound + 1e-9:
+                servers.append(
+                    AtomServer(server_id=sid, group=group, cores=cores, bandwidth_mbps=bw)
+                )
+                break
+        else:
+            last = cores_distribution[-1]
+            servers.append(
+                AtomServer(server_id=sid, group=group, cores=last[1], bandwidth_mbps=last[2])
+            )
+    return servers

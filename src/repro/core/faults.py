@@ -1,0 +1,138 @@
+"""Churn tolerance and buddy-group recovery (paper §4.5).
+
+Many-trust groups already survive up to ``h - 1`` fail-stop members
+(only ``k - (h - 1)`` members participate in mixing).  When a group
+loses *more* than ``h - 1`` members it stalls; the buddy-group
+mechanism recovers it:
+
+- At formation time, each member of group ``g`` Shamir-shares its DVSS
+  share among the members of ``g``'s buddy group(s).
+- On stall, a replacement group is formed; each new member collects the
+  sub-shares of one original member from a buddy group and reconstructs
+  that member's share.  The restored group has the *same* group key and
+  share structure, so mixing resumes where it stopped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.group import GroupContext, GroupStalled
+from repro.core.server import AtomServer
+from repro.crypto.groups import DeterministicRng, Group
+from repro.crypto.secret_sharing import Share, shamir_reconstruct, shamir_share
+
+
+@dataclass
+class BuddyEscrow:
+    """Sub-shares of one group's member shares, held by a buddy group.
+
+    ``subshares[i][j]`` is buddy-member ``j``'s sub-share of original
+    member ``i``'s DVSS share.
+    """
+
+    gid: int
+    buddy_gid: int
+    threshold: int
+    subshares: List[List[Share]]
+
+
+class BuddySystem:
+    """Manages escrow and recovery across a deployment's groups."""
+
+    def __init__(self, group: Group):
+        self.group = group
+        self._escrows: Dict[int, List[BuddyEscrow]] = {}
+
+    def escrow(
+        self,
+        ctx: GroupContext,
+        buddy: GroupContext,
+        rng: Optional[DeterministicRng] = None,
+    ) -> BuddyEscrow:
+        """Each member of ``ctx`` shares its DVSS share with ``buddy``."""
+        if ctx.mode != "manytrust":
+            raise ValueError("buddy escrow requires a many-trust group")
+        buddy_size = len(buddy.servers)
+        threshold = buddy.threshold
+        subshares = []
+        for member_share in ctx._threshold_scheme.dvss.shares:
+            subshares.append(
+                shamir_share(self.group, member_share.value, threshold, buddy_size, rng)
+            )
+        escrow = BuddyEscrow(
+            gid=ctx.gid, buddy_gid=buddy.gid, threshold=threshold, subshares=subshares
+        )
+        self._escrows.setdefault(ctx.gid, []).append(escrow)
+        return escrow
+
+    def escrows_for(self, gid: int) -> List[BuddyEscrow]:
+        return self._escrows.get(gid, [])
+
+    def recover(
+        self,
+        stalled: GroupContext,
+        replacements: Sequence[AtomServer],
+        buddy_alive: Optional[Sequence[int]] = None,
+    ) -> GroupContext:
+        """Rebuild a stalled group with ``replacements`` (§4.5).
+
+        ``buddy_alive`` restricts which buddy members respond (must be
+        at least the escrow threshold).  The restored context keeps the
+        original group key and per-member share values; the replacement
+        servers simply assume the original member positions.
+        """
+        escrows = self.escrows_for(stalled.gid)
+        if not escrows:
+            raise GroupStalled(stalled.gid, len(stalled.alive_positions()), stalled.threshold)
+        escrow = escrows[0]
+        if len(replacements) != len(stalled.servers):
+            raise ValueError("need one replacement per original member")
+
+        recovered_shares: List[Share] = []
+        for member_index, subshares in enumerate(escrow.subshares):
+            available = (
+                [subshares[j] for j in buddy_alive]
+                if buddy_alive is not None
+                else list(subshares)
+            )
+            if len(available) < escrow.threshold:
+                raise GroupStalled(stalled.gid, len(available), escrow.threshold)
+            value = shamir_reconstruct(self.group, available[: escrow.threshold])
+            recovered_shares.append(Share(member_index + 1, value))
+
+        return restore_group(stalled, replacements, recovered_shares)
+
+
+def restore_group(
+    stalled: GroupContext,
+    replacements: Sequence[AtomServer],
+    shares: List[Share],
+) -> GroupContext:
+    """Build a new :class:`GroupContext` with the old key material.
+
+    We clone the stalled context's threshold scheme and swap in the
+    replacement servers; the recovered shares must match the originals
+    (they do, by Shamir correctness — asserted here).
+    """
+    original = stalled._threshold_scheme.dvss.shares
+    for recovered, orig in zip(shares, original):
+        if recovered.value != orig.value:
+            raise ValueError("recovered share mismatch: escrow corrupted")
+
+    restored = GroupContext.__new__(GroupContext)
+    restored.gid = stalled.gid
+    restored.servers = list(replacements)
+    restored.group = stalled.group
+    restored.scheme = stalled.scheme
+    restored.mode = stalled.mode
+    restored.h = stalled.h
+    restored.nizk_rounds = stalled.nizk_rounds
+    restored.k = len(replacements)
+    restored.threshold = stalled.threshold
+    restored._threshold_scheme = stalled._threshold_scheme
+    restored.public_key = stalled.public_key
+    restored.member_keys = None
+    restored.forge_payload_fn = stalled.forge_payload_fn
+    return restored

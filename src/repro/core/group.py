@@ -1,0 +1,444 @@
+"""The Atom group protocols: Algorithm 1 and Algorithm 2.
+
+A :class:`GroupContext` is one anytrust (or many-trust) group for one
+protocol round.  It owns the group's per-round mixing key:
+
+- **anytrust** mode: every member generates a fresh keypair; the group
+  public key is the product of member keys, and *all* members must
+  participate (one honest member suffices for security, one failed
+  member stalls the group — §4.5's motivation).
+- **manytrust** mode: the key comes from DVSS with threshold
+  ``t = k - (h - 1)``; any ``t`` live members can mix, because each
+  uses its Lagrange-weighted share as its effective secret.
+
+``mix`` implements one mixing iteration (Algorithm 1):
+shuffle (every participant in order) → divide into ``beta`` batches →
+decrypt-and-reencrypt each batch toward its successor group (every
+participant in order), the last participant dropping ``Y`` before the
+batches leave the group.
+
+``mix`` with ``verify=True`` implements Algorithm 2: every shuffle
+carries a vector ShufProof and every ReEnc step a per-part ReEncProof;
+all are checked by the other group members, and any failure raises
+:class:`ProtocolAbort` naming the culprit.
+
+Active-adversary hooks: participants with a non-honest
+:class:`~repro.core.server.Behavior` tamper with the outgoing batches
+(replace / duplicate / drop a ciphertext).  Under Algorithm 2 this is
+caught immediately; under the trap variant it is caught by the trap
+checks with probability 1/2 per tampering (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.server import AtomServer, Behavior
+from repro.crypto.elgamal import AtomElGamal, ElGamalKeyPair
+from repro.crypto.groups import DeterministicRng, Group, GroupElement
+from repro.crypto.nizk import prove_reencryption, verify_reencryption
+from repro.crypto.secret_sharing import DvssProtocol
+from repro.crypto.threshold import ThresholdElGamal
+from repro.crypto.vector import (
+    CiphertextVector,
+    prove_vector_shuffle,
+    reencrypt_vector,
+    shuffle_vectors,
+    verify_vector_shuffle,
+)
+from repro.topology.base import route_batches
+
+
+class ProtocolAbort(RuntimeError):
+    """Algorithm 2 detected a deviating server; the round aborts."""
+
+    def __init__(self, gid: int, culprit: int, stage: str):
+        self.gid = gid
+        self.culprit = culprit
+        self.stage = stage
+        super().__init__(
+            f"group {gid}: server {culprit} failed verification during {stage}"
+        )
+
+
+class GroupStalled(RuntimeError):
+    """An anytrust group lost a member (or a many-trust group lost more
+    than h-1) and cannot make progress without recovery (§4.5)."""
+
+    def __init__(self, gid: int, alive: int, needed: int):
+        self.gid = gid
+        self.alive = alive
+        self.needed = needed
+        super().__init__(f"group {gid}: {alive} members alive, {needed} needed")
+
+
+@dataclass
+class MixAudit:
+    """What happened during one mixing iteration (for tests/metrics)."""
+
+    gid: int
+    shuffles_proved: int = 0
+    shuffles_verified: int = 0
+    reencs_proved: int = 0
+    reencs_verified: int = 0
+    tamperings: List[Tuple[int, str]] = field(default_factory=list)
+    bytes_sent: int = 0
+
+
+class GroupContext:
+    """One (any|many)-trust group for one protocol round."""
+
+    def __init__(
+        self,
+        gid: int,
+        servers: Sequence[AtomServer],
+        group: Group,
+        mode: str = "anytrust",
+        h: int = 1,
+        rng: Optional[DeterministicRng] = None,
+        nizk_rounds: int = 8,
+    ):
+        if mode not in ("anytrust", "manytrust"):
+            raise ValueError(f"unknown group mode {mode!r}")
+        if mode == "manytrust" and h < 1:
+            raise ValueError("h must be >= 1")
+        if mode == "anytrust" and h != 1:
+            raise ValueError("anytrust groups have h = 1")
+        self.gid = gid
+        self.servers = list(servers)
+        self.group = group
+        self.scheme = AtomElGamal(group)
+        self.mode = mode
+        self.h = h
+        self.nizk_rounds = nizk_rounds
+        self.k = len(self.servers)
+        #: optional builder of valid attacker payloads (set by the
+        #: deployment in trap-variant rounds; see ``_forge_vector``)
+        self.forge_payload_fn = None
+
+        if mode == "anytrust":
+            self.threshold = self.k
+            self.member_keys = [ElGamalKeyPair.generate(group, rng) for _ in self.servers]
+            self.public_key = self.scheme.combine_public_keys(
+                [kp.public for kp in self.member_keys]
+            )
+            self._threshold_scheme = None
+        else:
+            self.threshold = self.k - (h - 1)
+            dvss = DvssProtocol(group, self.k, self.threshold).run(rng)
+            self._threshold_scheme = ThresholdElGamal(group, dvss)
+            self.public_key = self._threshold_scheme.public_key
+            self.member_keys = None
+
+    # -- membership -----------------------------------------------------
+
+    def alive_positions(self) -> List[int]:
+        return [i for i, s in enumerate(self.servers) if not s.failed]
+
+    def participants(self) -> List[int]:
+        """Positions that take part in this iteration.
+
+        Anytrust: all members (any failure stalls).  Many-trust: the
+        first ``threshold`` live members.
+        """
+        alive = self.alive_positions()
+        if len(alive) < self.threshold:
+            raise GroupStalled(self.gid, len(alive), self.threshold)
+        if self.mode == "anytrust":
+            return alive  # == all positions
+        return alive[: self.threshold]
+
+    def effective_secret(self, position: int, participants: Sequence[int]) -> int:
+        """The secret this member uses in ReEnc: its raw per-round key
+        (anytrust) or its Lagrange-weighted DVSS share (many-trust)."""
+        if self.mode == "anytrust":
+            return self.member_keys[position].secret
+        return self._threshold_scheme.weighted_secret(position, list(participants))
+
+    def member_public(self, position: int) -> GroupElement:
+        """Public image of the member's *mixing* key (anytrust only)."""
+        if self.mode != "anytrust":
+            raise ValueError("per-member mixing publics exist only in anytrust mode")
+        return self.member_keys[position].public
+
+    def reveal_secrets(self) -> List[int]:
+        """Blame protocol (§4.6): entry groups reveal their private keys."""
+        if self.mode == "anytrust":
+            return [kp.secret for kp in self.member_keys]
+        return [s.value for s in self._threshold_scheme.dvss.shares]
+
+    # -- the mixing iteration --------------------------------------------
+
+    def mix(
+        self,
+        vectors: Sequence[CiphertextVector],
+        next_keys: Sequence[Optional[GroupElement]],
+        verify: bool = False,
+        rng: Optional[DeterministicRng] = None,
+    ) -> Tuple[List[List[CiphertextVector]], MixAudit]:
+        """One iteration of Algorithm 1 (``verify=False``) / 2 (``True``).
+
+        ``next_keys[i]`` is the public key of the i-th successor group
+        (``None`` for the final iteration: plain decryption).  Returns
+        ``beta = len(next_keys)`` outgoing batches plus an audit record.
+        """
+        audit = MixAudit(gid=self.gid)
+        participants = self.participants()
+        beta = len(next_keys)
+        if not beta:
+            raise ValueError("need at least one successor key")
+        if len(vectors) % beta:
+            raise ValueError(
+                f"group {self.gid}: {len(vectors)} ciphertexts do not divide "
+                f"into {beta} batches"
+            )
+
+        current = list(vectors)
+
+        # Step 1 — Shuffle, each participant in order (Algorithm 1/2, step 1).
+        for position in participants:
+            server = self.servers[position]
+            shuffled, perm, rands = shuffle_vectors(
+                self.scheme, self.public_key, current, rng
+            )
+            if verify:
+                proof = prove_vector_shuffle(
+                    self.scheme, self.public_key, current, shuffled, perm, rands,
+                    rounds=self.nizk_rounds, rng=rng,
+                )
+                audit.shuffles_proved += 1
+                audit.bytes_sent += proof.size_bytes
+            tampered = self._maybe_tamper_shuffle(server, shuffled, audit)
+            if verify:
+                # Every other member verifies the (possibly tampered) output.
+                ok = verify_vector_shuffle(
+                    self.scheme, self.public_key, current, tampered, proof,
+                    rounds=self.nizk_rounds,
+                )
+                audit.shuffles_verified += len(participants) - 1
+                if not ok:
+                    raise ProtocolAbort(self.gid, server.server_id, "shuffle")
+            current = tampered
+
+        # Step 2 — Divide (Algorithm 1/2, step 2).
+        batches = route_batches(current, beta)
+
+        # Step 3 — Decrypt and Reencrypt, each participant in order.
+        for index, position in enumerate(participants):
+            server = self.servers[position]
+            secret = self.effective_secret(position, participants)
+            last = index == len(participants) - 1
+            new_batches = []
+            for batch, next_key in zip(batches, next_keys):
+                out = [
+                    reencrypt_vector(self.scheme, secret, next_key, vec, rng)
+                    for vec in batch
+                ]
+                new_batches.append(out)
+            batches = new_batches
+            if last and next_keys[0] is not None:
+                # Appendix A: the last server sets Y' = ⊥ before forwarding.
+                batches = [[vec.with_y_bot() for vec in batch] for batch in batches]
+
+        # Adversarial tampering on the *outgoing* batches (the attack the
+        # trap variant is designed to catch).
+        self._maybe_tamper_outgoing(batches, next_keys, audit)
+
+        for batch in batches:
+            audit.bytes_sent += sum(v.size_bytes for v in batch)
+        return batches, audit
+
+    def mix_with_reenc_proofs(
+        self,
+        vectors: Sequence[CiphertextVector],
+        next_keys: Sequence[Optional[GroupElement]],
+        rng: Optional[DeterministicRng] = None,
+    ) -> Tuple[List[List[CiphertextVector]], MixAudit]:
+        """Algorithm 2 with explicit per-step ReEnc proofs.
+
+        A slower, fully verified path used by the NIZK variant: each
+        participant's ReEnc of each ciphertext part is proved with a
+        Chaum-Pedersen NIZK and verified by the other members.  Shuffle
+        proofs are as in :meth:`mix`.
+        """
+        audit = MixAudit(gid=self.gid)
+        participants = self.participants()
+        beta = len(next_keys)
+        if len(vectors) % beta:
+            raise ValueError("ciphertexts do not divide into batches")
+
+        current = list(vectors)
+
+        # Step 1 — verified shuffles.
+        for position in participants:
+            server = self.servers[position]
+            shuffled, perm, rands = shuffle_vectors(
+                self.scheme, self.public_key, current, rng
+            )
+            proof = prove_vector_shuffle(
+                self.scheme, self.public_key, current, shuffled, perm, rands,
+                rounds=self.nizk_rounds, rng=rng,
+            )
+            audit.shuffles_proved += 1
+            audit.bytes_sent += proof.size_bytes
+            tampered = self._maybe_tamper_shuffle(server, shuffled, audit)
+            ok = verify_vector_shuffle(
+                self.scheme, self.public_key, current, tampered, proof,
+                rounds=self.nizk_rounds,
+            )
+            audit.shuffles_verified += len(participants) - 1
+            if not ok:
+                raise ProtocolAbort(self.gid, server.server_id, "shuffle")
+            current = tampered
+
+        # Step 2 — divide.
+        batches = route_batches(current, beta)
+
+        # Step 3 — proved ReEnc.
+        for index, position in enumerate(participants):
+            server = self.servers[position]
+            secret = self.effective_secret(position, participants)
+            server_public = self.group.g ** secret
+            last = index == len(participants) - 1
+            new_batches = []
+            for batch, next_key in zip(batches, next_keys):
+                out_batch = []
+                for vec in batch:
+                    out_parts = []
+                    for part in vec.parts:
+                        r = (
+                            None
+                            if next_key is None
+                            else self.group.random_scalar(rng)
+                        )
+                        after = self.scheme.reencrypt(secret, next_key, part, randomness=r)
+                        proof = prove_reencryption(
+                            self.group, secret, r, next_key, part, after
+                        )
+                        audit.reencs_proved += 1
+                        audit.bytes_sent += proof.size_bytes
+                        if not verify_reencryption(
+                            self.group, server_public, next_key, part, after, proof
+                        ):
+                            raise ProtocolAbort(self.gid, server.server_id, "reenc")
+                        audit.reencs_verified += len(participants) - 1
+                        out_parts.append(after)
+                    out_batch.append(CiphertextVector(tuple(out_parts)))
+                new_batches.append(out_batch)
+            batches = new_batches
+            if last and next_keys[0] is not None:
+                batches = [[vec.with_y_bot() for vec in batch] for batch in batches]
+
+        # A tampering server cannot forge the ReEnc proof, so under this
+        # path tampering surfaces as an abort above; outgoing tampering
+        # would be caught by the neighbours re-verifying (Algorithm 2
+        # step 3b sends proofs to neighbouring groups too).
+        tampered_audit = MixAudit(gid=self.gid)
+        self._maybe_tamper_outgoing(batches, next_keys, tampered_audit)
+        if tampered_audit.tamperings:
+            culprit = tampered_audit.tamperings[0][0]
+            raise ProtocolAbort(self.gid, culprit, "outgoing-batch verification")
+
+        for batch in batches:
+            audit.bytes_sent += sum(v.size_bytes for v in batch)
+        return batches, audit
+
+    # -- adversarial hooks -------------------------------------------------
+
+    def _maybe_tamper_shuffle(
+        self,
+        server: AtomServer,
+        shuffled: List[CiphertextVector],
+        audit: MixAudit,
+    ) -> List[CiphertextVector]:
+        """BAD_SHUFFLE: emit something other than the proven shuffle."""
+        if server.behavior is not Behavior.BAD_SHUFFLE or server.tamper_budget <= 0:
+            return shuffled
+        if len(shuffled) < 2:
+            return shuffled
+        server.tamper_budget -= 1
+        audit.tamperings.append((server.server_id, "bad_shuffle"))
+        tampered = list(shuffled)
+        tampered[0], tampered[1] = tampered[1], tampered[0]
+        return tampered
+
+    def _maybe_tamper_outgoing(
+        self,
+        batches: List[List[CiphertextVector]],
+        next_keys: Sequence[Optional[GroupElement]],
+        audit: MixAudit,
+    ) -> None:
+        """DROP / REPLACE / DUPLICATE one outgoing ciphertext in place.
+
+        Modeled at the last-server forwarding stage, where a malicious
+        member can construct well-formed substitutes: after ``Y`` is
+        dropped, outgoing ciphertexts are fresh ElGamal ciphertexts
+        under the (public) successor-group key.
+        """
+        for position in self.participants():
+            server = self.servers[position]
+            if not server.is_malicious or server.tamper_budget <= 0:
+                continue
+            if server.behavior is Behavior.BAD_SHUFFLE:
+                continue
+            for b_idx, (batch, next_key) in enumerate(zip(batches, next_keys)):
+                if not batch:
+                    continue
+                server.tamper_budget -= 1
+                if server.behavior is Behavior.REPLACE_ONE:
+                    batch[0] = self._forge_vector(batch[0], next_key)
+                    audit.tamperings.append((server.server_id, "replace"))
+                elif server.behavior is Behavior.DUPLICATE_ONE and len(batch) >= 2:
+                    batch[0] = batch[1]
+                    audit.tamperings.append((server.server_id, "duplicate"))
+                elif server.behavior is Behavior.DROP_ONE:
+                    # Dropping shrinks the batch; to keep wire-format
+                    # plausible the adversary substitutes garbage instead
+                    # of leaving a hole (a literal hole is caught by
+                    # counting; see §4.4 security analysis).
+                    batch[0] = self._forge_vector(batch[0], next_key)
+                    audit.tamperings.append((server.server_id, "drop"))
+                break
+            break
+
+    def _forge_vector(
+        self, template: CiphertextVector, next_key: Optional[GroupElement]
+    ) -> CiphertextVector:
+        """A fresh, well-formed vector substituted by the adversary.
+
+        The strongest attacker (paper §4.4 analysis) replaces a victim
+        ciphertext with a *valid* message of his own — e.g. a fresh
+        inner ciphertext encrypted to the trustees — so that the
+        substitution is undetectable unless the victim was a trap.  The
+        deployment installs ``forge_payload_fn`` to build such payloads;
+        without it the forgery carries garbage (a weaker attacker, whose
+        substitution is also caught by format checks).
+        """
+        import secrets as _secrets
+
+        if self.forge_payload_fn is not None:
+            payload = self.forge_payload_fn()
+            chunks = self.group.encode_chunks(payload)
+        else:
+            chunks = [
+                self.group.encode(_secrets.token_bytes(self.group.params.message_bytes))
+                for _ in template.parts
+            ]
+        if len(chunks) != len(template.parts):
+            raise ValueError("forged payload does not match vector arity")
+        if next_key is None:
+            # Final layer: exit reads the plaintext out of `c`.
+            from repro.crypto.elgamal import AtomCiphertext
+
+            return CiphertextVector(
+                tuple(
+                    AtomCiphertext(R=self.group.identity, c=chunk, Y=self.group.g)
+                    for chunk in chunks
+                )
+            )
+        forged_parts = []
+        for chunk in chunks:
+            ct, _ = self.scheme.encrypt(next_key, chunk)
+            forged_parts.append(ct)
+        return CiphertextVector(tuple(forged_parts))

@@ -1,0 +1,192 @@
+"""Wire formats for Atom messages (paper §4.4).
+
+Every plaintext routed through the mix network is a fixed-size, tagged
+payload so that traps and real messages are indistinguishable until the
+tag is read at the exit:
+
+- real (trap-variant inner): ``M`` tag + serialized IND-CCA2 ciphertext
+- trap: ``T`` tag + 4-byte entry gid + 16-byte nonce
+- plain (basic/NIZK variants): ``P`` tag + length-prefixed user message
+
+All payloads are padded to the same ``payload_size`` before entering
+the network.  ``payload_size`` is a deployment constant derived from
+the application message size.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.aead import NONCE_BYTES, TAG_BYTES, AeadCiphertext
+from repro.crypto.groups import Group
+from repro.crypto.kem import Cca2Ciphertext
+
+TAG_MESSAGE = b"M"
+TAG_TRAP = b"T"
+TAG_PLAIN = b"P"
+#: dummy cover messages (§3: the butterfly analysis needs a constant
+#: fraction of dummies; uneven entry loads are padded with them too)
+TAG_DUMMY = b"D"
+
+TRAP_NONCE_BYTES = 16
+
+
+class MessageFormatError(ValueError):
+    """Raised on malformed payloads (bad tag, bad length, bad padding)."""
+
+
+def pad_payload(payload: bytes, size: int) -> bytes:
+    """Length-prefix and zero-pad ``payload`` to exactly ``size`` bytes."""
+    if len(payload) + 4 > size:
+        raise MessageFormatError(
+            f"payload of {len(payload)} bytes does not fit in {size} bytes"
+        )
+    return struct.pack(">I", len(payload)) + payload + b"\x00" * (size - 4 - len(payload))
+
+
+def unpad_payload(padded: bytes) -> bytes:
+    """Invert :func:`pad_payload`."""
+    if len(padded) < 4:
+        raise MessageFormatError("padded payload too short")
+    (length,) = struct.unpack(">I", padded[:4])
+    if length + 4 > len(padded):
+        raise MessageFormatError("declared length exceeds payload")
+    return padded[4: 4 + length]
+
+
+# -- plain payloads (basic / NIZK variants) ---------------------------------
+
+
+def build_plain_payload(message: bytes, payload_size: int) -> bytes:
+    """User message for the basic and NIZK variants."""
+    return pad_payload(TAG_PLAIN + message, payload_size)
+
+
+def parse_plain_payload(payload: bytes) -> bytes:
+    body = unpad_payload(payload)
+    if not body.startswith(TAG_PLAIN):
+        raise MessageFormatError("not a plain payload")
+    return body[len(TAG_PLAIN):]
+
+
+def build_dummy_payload(nonce: bytes, payload_size: int) -> bytes:
+    """A cover message: indistinguishable in size, discarded at exit."""
+    return pad_payload(TAG_DUMMY + nonce, payload_size)
+
+
+def is_dummy_payload(payload: bytes) -> bool:
+    try:
+        return unpad_payload(payload).startswith(TAG_DUMMY)
+    except MessageFormatError:
+        return False
+
+
+# -- trap payloads -----------------------------------------------------------
+
+
+def build_trap_payload(gid: int, nonce: bytes, payload_size: int) -> bytes:
+    """``cT = gid‖R‖T`` (tag first in our byte layout)."""
+    if len(nonce) != TRAP_NONCE_BYTES:
+        raise MessageFormatError("trap nonce must be 16 bytes")
+    return pad_payload(TAG_TRAP + struct.pack(">I", gid) + nonce, payload_size)
+
+
+def parse_trap_payload(payload: bytes) -> Tuple[int, bytes]:
+    """Return (gid, nonce) or raise :class:`MessageFormatError`."""
+    body = unpad_payload(payload)
+    if not body.startswith(TAG_TRAP):
+        raise MessageFormatError("not a trap payload")
+    body = body[len(TAG_TRAP):]
+    if len(body) != 4 + TRAP_NONCE_BYTES:
+        raise MessageFormatError("bad trap body length")
+    (gid,) = struct.unpack(">I", body[:4])
+    return gid, body[4:]
+
+
+def is_trap_payload(payload: bytes) -> bool:
+    try:
+        parse_trap_payload(payload)
+        return True
+    except MessageFormatError:
+        return False
+
+
+# -- inner-ciphertext payloads (trap variant) --------------------------------
+
+
+def serialize_cca2(group: Group, ciphertext: Cca2Ciphertext) -> bytes:
+    return ciphertext.to_bytes()
+
+
+def deserialize_cca2(group: Group, raw: bytes) -> Cca2Ciphertext:
+    """Parse ``R || nonce || tag || body`` back into a ciphertext."""
+    width = (group.p.bit_length() + 7) // 8
+    if len(raw) < width + NONCE_BYTES + TAG_BYTES:
+        raise MessageFormatError("CCA2 ciphertext too short")
+    r_value = int.from_bytes(raw[:width], "big")
+    try:
+        R = group.element(r_value)
+    except ValueError as exc:
+        raise MessageFormatError("invalid encapsulation element") from exc
+    body = AeadCiphertext.from_bytes(raw[width:])
+    return Cca2Ciphertext(R=R, body=body)
+
+
+def build_inner_payload(group: Group, ciphertext: Cca2Ciphertext, payload_size: int) -> bytes:
+    """``cM = EncCCA2(pkT, m)‖M``."""
+    return pad_payload(TAG_MESSAGE + serialize_cca2(group, ciphertext), payload_size)
+
+
+def parse_inner_payload(group: Group, payload: bytes) -> Cca2Ciphertext:
+    body = unpad_payload(payload)
+    if not body.startswith(TAG_MESSAGE):
+        raise MessageFormatError("not an inner-ciphertext payload")
+    return deserialize_cca2(group, body[len(TAG_MESSAGE):])
+
+
+def is_inner_payload(payload: bytes) -> bool:
+    try:
+        body = unpad_payload(payload)
+    except MessageFormatError:
+        return False
+    return body.startswith(TAG_MESSAGE)
+
+
+# -- sizing -------------------------------------------------------------------
+
+
+def inner_payload_size(group: Group, message_size: int) -> int:
+    """Payload bytes needed to carry an inner ciphertext of a
+    ``message_size``-byte application message (plus tag and padding
+    header)."""
+    width = (group.p.bit_length() + 7) // 8
+    cca2 = width + NONCE_BYTES + TAG_BYTES + (4 + message_size)  # body carries padded msg
+    return 4 + 1 + cca2
+
+
+def plain_payload_size(message_size: int) -> int:
+    return 4 + 1 + message_size
+
+
+@dataclass(frozen=True)
+class PayloadSpec:
+    """Sizing decisions for one deployment."""
+
+    payload_size: int
+    elements_per_message: int
+
+    @classmethod
+    def for_deployment(
+        cls, group: Group, message_size: int, trap_variant: bool
+    ) -> "PayloadSpec":
+        size = (
+            max(inner_payload_size(group, message_size), plain_payload_size(message_size))
+            if trap_variant
+            else plain_payload_size(message_size)
+        )
+        return cls(
+            payload_size=size,
+            elements_per_message=group.elements_for_size(size),
+        )

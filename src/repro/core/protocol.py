@@ -1,0 +1,511 @@
+"""Full-deployment orchestration of an Atom round (paper §2, §4).
+
+:class:`AtomDeployment` wires everything together:
+
+1. **Setup** — build the fleet, form the round's groups from beacon
+   randomness, place them on the permutation-network topology
+   (width = number of groups; each group handles one node per layer),
+   and, for the trap variant, set up the trustees.
+2. **Submission** — clients pick entry groups; every server of the
+   entry group verifies the EncProof NIZKs and rejects duplicates.
+3. **Mixing** — T iterations of shuffle → divide → reencrypt across
+   the network (Algorithm 1, with Algorithm 2 verification in the NIZK
+   variant).  The final iteration re-encrypts to ``⊥``, revealing
+   payloads at the exit groups.
+4. **Exit** — basic/NIZK: payloads are the messages.  Trap variant:
+   traps are routed to their committing entry groups and checked
+   against commitments; inner ciphertexts are de-duplicated and
+   counted; the trustees release the decryption key only if every
+   check passes, after which the inner ciphertexts are opened.
+
+The functional implementation runs every server in-process; the
+instrumented byte counters feed the bandwidth analysis of §6.2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import messages as fmt
+from repro.core.blame import BlameReport, identify_malicious_users
+from repro.core.client import Client, Submission, TrapSubmission
+from repro.core.directory import Directory, DirectoryConfig, make_fleet
+from repro.core.group import GroupContext, GroupStalled, MixAudit, ProtocolAbort
+from repro.core.server import AtomServer
+from repro.core.trustees import GroupReport, KeyWithheld, TrusteeGroup
+from repro.crypto.beacon import RandomnessBeacon
+from repro.crypto.commit import commit
+from repro.crypto.groups import DeterministicRng, Group, get_group
+from repro.crypto.kem import cca2_decrypt
+from repro.crypto.vector import CiphertextVector, plaintext_of
+from repro.topology import IteratedButterflyNetwork, PermutationNetwork, SquareNetwork
+
+VARIANTS = ("basic", "nizk", "trap")
+
+#: Application-level marker for trap-variant dummy messages (the trap
+#: variant's dummies are complete (inner, trap) pairs so they stay
+#: indistinguishable in flight; the marker lets exits drop them after
+#: decryption).  The random suffix added per dummy makes collisions
+#: with user content vanishingly unlikely.
+DUMMY_MAGIC = b"\x00__atom_dummy__\x00"
+
+
+@dataclass
+class DeploymentConfig:
+    """Knobs for one Atom deployment."""
+
+    num_servers: int = 8
+    num_groups: int = 2
+    group_size: Optional[int] = 3  # None -> derive from f/G/h (k=32 at scale)
+    variant: str = "trap"
+    mode: str = "anytrust"  # or "manytrust"
+    h: int = 1
+    adversarial_fraction: float = 0.2
+    iterations: int = 4  # paper uses T=10 at scale
+    message_size: int = 32
+    crypto_group: str = "TOY"
+    topology: str = "square"
+    nizk_rounds: int = 6
+    num_trustees: int = 3
+    seed: bytes = b"repro.deployment"
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}")
+        if self.mode == "anytrust" and self.h != 1:
+            raise ValueError("anytrust deployments have h = 1")
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one protocol round."""
+
+    round_id: int
+    messages: List[bytes] = field(default_factory=list)
+    aborted: bool = False
+    abort_reason: str = ""
+    offending_groups: List[int] = field(default_factory=list)
+    audits: List[MixAudit] = field(default_factory=list)
+    bytes_sent_total: int = 0
+    num_traps_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.aborted
+
+
+class Round:
+    """Mutable state of one round in flight."""
+
+    def __init__(
+        self,
+        round_id: int,
+        contexts: List[GroupContext],
+        topology: PermutationNetwork,
+        trustees: Optional[TrusteeGroup],
+        payload_size: int,
+    ):
+        self.round_id = round_id
+        self.contexts = contexts
+        self.topology = topology
+        self.trustees = trustees
+        self.payload_size = payload_size
+        #: per-gid collected vectors awaiting mixing
+        self.holdings: Dict[int, List[CiphertextVector]] = {
+            ctx.gid: [] for ctx in contexts
+        }
+        #: per-gid trap commitments registered at submission time
+        self.commitments: Dict[int, List[bytes]] = {ctx.gid: [] for ctx in contexts}
+        #: user id -> (gid, trap submission) for blame
+        self.trap_submissions: Dict[int, Tuple[int, TrapSubmission]] = {}
+        #: duplicate-submission filter per entry group
+        self._seen: Dict[int, set] = {ctx.gid: set() for ctx in contexts}
+        self._next_user_id = 0
+
+    def context(self, gid: int) -> GroupContext:
+        return self.contexts[gid]
+
+
+class AtomDeployment:
+    """An in-process Atom network."""
+
+    def __init__(
+        self,
+        config: DeploymentConfig,
+        servers: Optional[Sequence[AtomServer]] = None,
+    ):
+        self.config = config
+        self.group: Group = get_group(config.crypto_group)
+        self.servers = (
+            list(servers)
+            if servers is not None
+            else make_fleet(config.num_servers, self.group)
+        )
+        self.directory = Directory(
+            self.servers,
+            self.group,
+            beacon=RandomnessBeacon(config.seed),
+            config=DirectoryConfig(
+                adversarial_fraction=config.adversarial_fraction,
+                h=config.h,
+                mode=config.mode,
+                group_size=config.group_size,
+                nizk_rounds=config.nizk_rounds,
+            ),
+        )
+        self.spec = fmt.PayloadSpec.for_deployment(
+            self.group, config.message_size, trap_variant=(config.variant == "trap")
+        )
+
+    # -- round lifecycle ---------------------------------------------------
+
+    def start_round(self, round_id: int = 0, rng: Optional[DeterministicRng] = None) -> Round:
+        """Form groups, build the topology, and (trap variant) trustees."""
+        cfg = self.config
+        contexts = self.directory.form_groups(round_id, cfg.num_groups, rng)
+        if cfg.topology == "square":
+            topology = SquareNetwork(width=cfg.num_groups, depth=cfg.iterations)
+        elif cfg.topology == "butterfly":
+            log_width = (cfg.num_groups - 1).bit_length()
+            if 2 ** log_width != cfg.num_groups:
+                raise ValueError("butterfly topology needs a power-of-two group count")
+            topology = IteratedButterflyNetwork(log_width=log_width)
+        else:
+            raise ValueError(f"unknown topology {cfg.topology!r}")
+        trustees = (
+            TrusteeGroup(self.group, cfg.num_trustees, rng=rng)
+            if cfg.variant == "trap"
+            else None
+        )
+        if trustees is not None:
+            # Arm the strongest modeled attacker: substituted ciphertexts
+            # are *valid* inner ciphertexts to the trustees (so only the
+            # trap mechanism can catch the substitution — §4.4 analysis).
+            from repro.crypto.kem import cca2_encrypt
+            import secrets as _secrets
+
+            def _forge_inner_payload() -> bytes:
+                filler = fmt.pad_payload(
+                    _secrets.token_bytes(8), 4 + cfg.message_size
+                )
+                inner = cca2_encrypt(self.group, trustees.public_key, filler)
+                return fmt.build_inner_payload(
+                    self.group, inner, self.spec.payload_size
+                )
+
+            for ctx in contexts:
+                ctx.forge_payload_fn = _forge_inner_payload
+        return Round(round_id, contexts, topology, trustees, self.spec.payload_size)
+
+    def messages_per_group(self, num_users: int) -> int:
+        """Entry-load per group, counting trap doubling."""
+        per_user = 2 if self.config.variant == "trap" else 1
+        total = num_users * per_user
+        if total % self.config.num_groups:
+            raise ValueError("users must spread evenly over entry groups")
+        return total // self.config.num_groups
+
+    def required_user_multiple(self) -> int:
+        """Smallest user count unit keeping every division exact.
+
+        Each group's entry load must divide by beta at every iteration;
+        with width ``G`` (square: beta = G) that means the per-group
+        load must be a multiple of ``G`` — i.e. the total user count a
+        multiple of ``G^2`` (or ``G^2 / 2`` with trap doubling).
+        """
+        g = self.config.num_groups
+        beta = g if self.config.topology == "square" else 2
+        per_user = 2 if self.config.variant == "trap" else 1
+        unit = g * beta
+        # smallest u with u * per_user divisible by unit
+        from math import gcd
+
+        return unit // gcd(unit, per_user)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit_plain(
+        self, rnd: Round, message: bytes, entry_gid: int, client: Optional[Client] = None
+    ) -> int:
+        """Basic/NIZK-variant submission; returns the user id."""
+        if self.config.variant == "trap":
+            raise ValueError("use submit_trap for the trap variant")
+        client = client or Client(self.group)
+        ctx = rnd.context(entry_gid)
+        submission = client.prepare_plain(
+            message, ctx.public_key, entry_gid, self.spec.payload_size
+        )
+        return self._accept(rnd, entry_gid, [submission], None)
+
+    def submit_trap(
+        self, rnd: Round, message: bytes, entry_gid: int, client: Optional[Client] = None
+    ) -> int:
+        """Trap-variant submission (inner + trap + commitment)."""
+        if self.config.variant != "trap":
+            raise ValueError("submit_trap requires the trap variant")
+        client = client or Client(self.group)
+        ctx = rnd.context(entry_gid)
+        trap_sub, _ = client.prepare_trap_pair(
+            message,
+            ctx.public_key,
+            rnd.trustees.public_key,
+            entry_gid,
+            self.spec.payload_size,
+            self.config.message_size,
+        )
+        if not trap_sub.verify(self.group, ctx.public_key):
+            raise ValueError("submission proofs failed verification")
+        user_id = self._accept(
+            rnd, entry_gid, list(trap_sub.pair), trap_sub.trap_commitment
+        )
+        rnd.trap_submissions[user_id] = (entry_gid, trap_sub)
+        return user_id
+
+    def inject_trap_submission(
+        self, rnd: Round, entry_gid: int, trap_sub: TrapSubmission
+    ) -> int:
+        """Submit a pre-built (possibly malicious) trap submission —
+        used by tests exercising §4.6 blame."""
+        ctx = rnd.context(entry_gid)
+        if not trap_sub.verify(self.group, ctx.public_key):
+            raise ValueError("submission proofs failed verification")
+        user_id = self._accept(
+            rnd, entry_gid, list(trap_sub.pair), trap_sub.trap_commitment
+        )
+        rnd.trap_submissions[user_id] = (entry_gid, trap_sub)
+        return user_id
+
+    def _accept(
+        self,
+        rnd: Round,
+        gid: int,
+        submissions: List[Submission],
+        trap_commitment: Optional[bytes],
+    ) -> int:
+        ctx = rnd.context(gid)
+        for submission in submissions:
+            if not submission.verify(self.group, ctx.public_key, gid):
+                raise ValueError("EncProof verification failed at entry")
+            fingerprint = submission.vector.to_bytes()
+            if fingerprint in rnd._seen[gid]:
+                raise ValueError("duplicate ciphertext submission rejected")
+            rnd._seen[gid].add(fingerprint)
+            rnd.holdings[gid].append(submission.vector)
+        if trap_commitment is not None:
+            rnd.commitments[gid].append(trap_commitment)
+        user_id = rnd._next_user_id
+        rnd._next_user_id += 1
+        return user_id
+
+    # -- dummy padding (§3) -------------------------------------------------
+
+    def pad_round(self, rnd: Round, rng: Optional[DeterministicRng] = None) -> int:
+        """Top entry groups up with cover dummies until every group's
+        load is equal and divides evenly at every iteration (§3: "adding
+        a small constant fraction of dummy messages ... lets us use this
+        network as if it produced a truly random permutation").
+
+        Returns the number of dummy payloads added.
+        """
+        import secrets as _secrets
+        from math import gcd
+
+        cfg = self.config
+        beta = rnd.topology.beta
+        counts = {gid: len(v) for gid, v in rnd.holdings.items()}
+        per_user = 2 if cfg.variant == "trap" else 1
+        target = max(counts.values()) if counts else 0
+        # round the target up to a multiple of beta (and of the pair
+        # size, so trap dummies fit evenly)
+        unit = beta * per_user // gcd(beta, per_user)
+        target = -(-max(target, 1) // unit) * unit
+
+        added = 0
+        client = Client(self.group, rng)
+        for gid in sorted(rnd.holdings):
+            while len(rnd.holdings[gid]) < target:
+                if cfg.variant == "trap":
+                    filler = DUMMY_MAGIC + _secrets.token_bytes(4)
+                    self.submit_trap(rnd, filler[: cfg.message_size], gid, client)
+                else:
+                    nonce = (
+                        rng.randbytes(12) if rng is not None else _secrets.token_bytes(12)
+                    )
+                    payload = fmt.build_dummy_payload(nonce, self.spec.payload_size)
+                    submission = client._submit_payload(
+                        payload, rnd.context(gid).public_key, gid
+                    )
+                    self._accept(rnd, gid, [submission], None)
+                added += 1
+        return added
+
+    # -- mixing ------------------------------------------------------------------
+
+    def run_round(self, rnd: Round, rng: Optional[DeterministicRng] = None) -> RoundResult:
+        """Execute T mixing iterations and the exit protocol."""
+        result = RoundResult(round_id=rnd.round_id)
+        cfg = self.config
+        topo = rnd.topology
+        verify = cfg.variant == "nizk"
+
+        counts = {gid: len(v) for gid, v in rnd.holdings.items()}
+        if len(set(counts.values())) > 1:
+            raise ValueError(f"unbalanced entry load: {counts}")
+
+        holdings = {gid: list(vs) for gid, vs in rnd.holdings.items()}
+        try:
+            for layer in range(topo.depth):
+                last = layer == topo.depth - 1
+                incoming: Dict[int, List[CiphertextVector]] = {
+                    ctx.gid: [] for ctx in rnd.contexts
+                }
+                for ctx in rnd.contexts:
+                    vectors = holdings[ctx.gid]
+                    if not vectors:
+                        continue
+                    if last:
+                        next_keys: List = [None]
+                        successors = [ctx.gid]
+                    else:
+                        successors = topo.successors(layer, ctx.gid)
+                        next_keys = [
+                            rnd.context(succ).public_key for succ in successors
+                        ]
+                    if verify:
+                        batches, audit = ctx.mix_with_reenc_proofs(
+                            vectors, next_keys, rng
+                        )
+                    else:
+                        batches, audit = ctx.mix(vectors, next_keys, verify=False, rng=rng)
+                    result.audits.append(audit)
+                    result.bytes_sent_total += audit.bytes_sent
+                    for succ, batch in zip(successors, batches):
+                        incoming[succ].extend(batch)
+                holdings = incoming
+        except ProtocolAbort as abort:
+            result.aborted = True
+            result.abort_reason = str(abort)
+            result.offending_groups = [abort.gid]
+            return result
+        except GroupStalled as stalled:
+            result.aborted = True
+            result.abort_reason = str(stalled)
+            result.offending_groups = [stalled.gid]
+            return result
+
+        # Exit: holdings now map exit gid -> fully decrypted payload vectors.
+        payloads_by_gid = {
+            gid: [plaintext_of(rnd.context(gid).scheme, vec) for vec in vectors]
+            for gid, vectors in holdings.items()
+        }
+        if cfg.variant == "trap":
+            return self._trap_exit(rnd, payloads_by_gid, result)
+        return self._plain_exit(payloads_by_gid, result)
+
+    # -- exit protocols -------------------------------------------------------------
+
+    def _plain_exit(
+        self, payloads_by_gid: Dict[int, List[bytes]], result: RoundResult
+    ) -> RoundResult:
+        for gid in sorted(payloads_by_gid):
+            for payload in payloads_by_gid[gid]:
+                if fmt.is_dummy_payload(payload):
+                    continue  # cover traffic, discarded at exit (§3)
+                try:
+                    result.messages.append(fmt.parse_plain_payload(payload))
+                except fmt.MessageFormatError:
+                    result.aborted = True
+                    result.abort_reason = "malformed payload at exit"
+                    result.offending_groups.append(gid)
+        return result
+
+    def _trap_exit(
+        self,
+        rnd: Round,
+        payloads_by_gid: Dict[int, List[bytes]],
+        result: RoundResult,
+    ) -> RoundResult:
+        """§4.4: sort traps and inner ciphertexts, check, release, open."""
+        cfg = self.config
+        num_groups = cfg.num_groups
+
+        # Last servers sort their outputs and forward:
+        traps_for_gid: Dict[int, List[bytes]] = {g: [] for g in range(num_groups)}
+        inners_for_gid: Dict[int, List[bytes]] = {g: [] for g in range(num_groups)}
+        malformed_from: List[int] = []
+        for gid in sorted(payloads_by_gid):
+            for payload in payloads_by_gid[gid]:
+                if fmt.is_trap_payload(payload):
+                    trap_gid, _ = fmt.parse_trap_payload(payload)
+                    if 0 <= trap_gid < num_groups:
+                        traps_for_gid[trap_gid].append(payload)
+                    else:
+                        malformed_from.append(gid)
+                elif fmt.is_inner_payload(payload):
+                    # Universal-hash load balancing of inner ciphertexts.
+                    digest = hashlib.sha3_256(payload).digest()
+                    target = int.from_bytes(digest[:8], "big") % num_groups
+                    inners_for_gid[target].append(payload)
+                else:
+                    malformed_from.append(gid)
+
+        # Each group checks its traps against its commitments and its
+        # assigned inner ciphertexts for duplicates, then reports.
+        seen_inner: set = set()
+        global_duplicate = False
+        for gid in range(num_groups):
+            expected = {bytes(c) for c in rnd.commitments[gid]}
+            got = {commit(t) for t in traps_for_gid[gid]}
+            traps_ok = expected == got and len(traps_for_gid[gid]) == len(
+                rnd.commitments[gid]
+            )
+            inner_ok = gid not in malformed_from
+            for inner in inners_for_gid[gid]:
+                if inner in seen_inner:
+                    inner_ok = False
+                    global_duplicate = True
+                seen_inner.add(inner)
+            rnd.trustees.submit_report(
+                GroupReport(
+                    gid=gid,
+                    traps_ok=traps_ok,
+                    inner_ok=inner_ok,
+                    num_traps=len(traps_for_gid[gid]),
+                    num_inner=len(inners_for_gid[gid]),
+                )
+            )
+        result.num_traps_checked = sum(len(t) for t in traps_for_gid.values())
+
+        try:
+            rnd.trustees.evaluate(expected_groups=num_groups)
+        except KeyWithheld as withheld:
+            result.aborted = True
+            result.abort_reason = str(withheld)
+            result.offending_groups = withheld.offending_gids
+            return result
+
+        secret = rnd.trustees.secret_key()
+        for gid in range(num_groups):
+            for payload in inners_for_gid[gid]:
+                inner = fmt.parse_inner_payload(self.group, payload)
+                try:
+                    padded = cca2_decrypt(self.group, secret, inner)
+                    message = fmt.unpad_payload(padded)
+                    marker = DUMMY_MAGIC[: self.config.message_size]
+                    if message.startswith(marker):
+                        continue  # trap-variant cover dummy
+                    result.messages.append(message)
+                except Exception:
+                    # IND-CCA2: a mauled inner ciphertext fails to open.
+                    result.aborted = True
+                    result.abort_reason = "inner ciphertext failed authentication"
+                    result.offending_groups.append(gid)
+        return result
+
+    # -- blame -----------------------------------------------------------------------
+
+    def blame(self, rnd: Round) -> BlameReport:
+        """Run §4.6 malicious-user identification after an aborted round."""
+        return identify_malicious_users(rnd.contexts, rnd.trap_submissions)

@@ -1,0 +1,52 @@
+"""Cryptographic substrate for the Atom reproduction.
+
+This package implements, from scratch, every primitive Atom depends on
+(paper §2.3 and Appendix A):
+
+- :mod:`repro.crypto.groups` — prime-order Schnorr groups over safe primes,
+  with message encoding into the quadratic-residue subgroup.
+- :mod:`repro.crypto.elgamal` — Atom's rerandomizable ElGamal variant with
+  the extra ``Y`` component enabling *out-of-order* decrypt-and-reencrypt.
+- :mod:`repro.crypto.sigma` — a generalized Schnorr sigma-protocol framework
+  (Fiat-Shamir NIZKs for AND-compositions of discrete-log relations).
+- :mod:`repro.crypto.nizk` — ``EncProof`` and ``ReEncProof`` built on it.
+- :mod:`repro.crypto.shuffle_proof` — a statistically sound cut-and-choose
+  verifiable-shuffle NIZK standing in for Neff's shuffle (see DESIGN.md).
+- :mod:`repro.crypto.aead` / :mod:`repro.crypto.kem` — authenticated
+  symmetric encryption and the IND-CCA2 hybrid KEM for inner ciphertexts.
+- :mod:`repro.crypto.secret_sharing` — Shamir, Feldman VSS, and dealer-less
+  DVSS used for many-trust group keys.
+- :mod:`repro.crypto.threshold` — threshold ElGamal key generation and
+  share-based decryption/reencryption.
+- :mod:`repro.crypto.commit` — SHA3-based commitments for trap messages.
+- :mod:`repro.crypto.beacon` — a deterministic public randomness beacon.
+"""
+
+from repro.crypto.groups import Group, GroupElement, GroupParams, get_group
+from repro.crypto.elgamal import AtomCiphertext, ElGamalKeyPair, AtomElGamal
+from repro.crypto.nizk import EncProof, ReEncProof
+from repro.crypto.shuffle_proof import ShuffleProof, prove_shuffle, verify_shuffle
+from repro.crypto.kem import Cca2Ciphertext, cca2_encrypt, cca2_decrypt
+from repro.crypto.commit import commit, verify_commitment
+from repro.crypto.beacon import RandomnessBeacon
+
+__all__ = [
+    "Group",
+    "GroupElement",
+    "GroupParams",
+    "get_group",
+    "AtomCiphertext",
+    "ElGamalKeyPair",
+    "AtomElGamal",
+    "EncProof",
+    "ReEncProof",
+    "ShuffleProof",
+    "prove_shuffle",
+    "verify_shuffle",
+    "Cca2Ciphertext",
+    "cca2_encrypt",
+    "cca2_decrypt",
+    "commit",
+    "verify_commitment",
+    "RandomnessBeacon",
+]

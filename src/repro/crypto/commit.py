@@ -1,0 +1,21 @@
+"""SHA-3 commitments for trap messages (paper §4.4).
+
+Trap messages contain a high-entropy random nonce, so — as the paper
+notes — a plain cryptographic hash is binding *and* hiding enough to
+serve as the commitment ``CT = H(cT)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+def commit(payload: bytes) -> bytes:
+    """Commit to ``payload`` (which must be high-entropy to be hiding)."""
+    return hashlib.sha3_256(b"repro.commit.v1|" + payload).digest()
+
+
+def verify_commitment(commitment: bytes, payload: bytes) -> bool:
+    """Constant-time check that ``commitment`` opens to ``payload``."""
+    return hmac.compare_digest(commitment, commit(payload))

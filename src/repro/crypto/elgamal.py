@@ -1,0 +1,207 @@
+"""Atom's rerandomizable ElGamal variant (paper Appendix A).
+
+A ciphertext is a triple ``(R, c, Y)``:
+
+- ``R`` carries the randomness used to encrypt for the *next* group,
+- ``c`` is the blinded message,
+- ``Y`` carries the randomness used to encrypt for the *current* group
+  (``None`` plays the paper's ``⊥``).
+
+Keeping both ``R`` and ``Y`` is what enables *out-of-order* decryption
+and re-encryption: a server can strip one layer of the current group's
+encryption (using ``Y``) while adding a layer for the next group's key
+(accumulating randomness into ``R``), even though the layers were added
+in a different order.
+
+Group public keys are products of member public keys (anytrust groups)
+or DVSS outputs (many-trust groups); in both cases the ciphertext
+algebra below is identical — only the secret used in ``reencrypt``
+differs (a raw key vs. a Lagrange-weighted share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto.groups import DeterministicRng, Group, GroupElement
+
+
+@dataclass(frozen=True)
+class ElGamalKeyPair:
+    """A secret scalar and the matching public element ``X = g^x``."""
+
+    secret: int
+    public: GroupElement
+
+    @classmethod
+    def generate(cls, group: Group, rng: Optional[DeterministicRng] = None) -> "ElGamalKeyPair":
+        x = group.random_scalar(rng)
+        return cls(secret=x, public=group.g ** x)
+
+
+@dataclass(frozen=True)
+class AtomCiphertext:
+    """The ``(R, c, Y)`` triple of Appendix A. ``Y is None`` means ⊥."""
+
+    R: GroupElement
+    c: GroupElement
+    Y: Optional[GroupElement] = None
+
+    def with_y_bot(self) -> "AtomCiphertext":
+        """Drop ``Y`` (the last server of a group does this before
+        forwarding: all of the current group's layers are peeled off)."""
+        return AtomCiphertext(self.R, self.c, None)
+
+    def to_bytes(self) -> bytes:
+        y_bytes = self.Y.to_bytes() if self.Y is not None else b"\x00"
+        return self.R.to_bytes() + self.c.to_bytes() + y_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.to_bytes())
+
+
+class AtomElGamal:
+    """Stateless algorithms over :class:`AtomCiphertext` for one group."""
+
+    def __init__(self, group: Group):
+        self.group = group
+
+    # -- KeyGen ---------------------------------------------------------
+
+    def keygen(self, rng: Optional[DeterministicRng] = None) -> ElGamalKeyPair:
+        return ElGamalKeyPair.generate(self.group, rng)
+
+    def combine_public_keys(self, publics: Sequence[GroupElement]) -> GroupElement:
+        """Anytrust group key: the product of all member public keys."""
+        combined = self.group.identity
+        for pk in publics:
+            combined = combined * pk
+        return combined
+
+    # -- Enc / Dec --------------------------------------------------------
+
+    def encrypt(
+        self,
+        public_key: GroupElement,
+        message: GroupElement,
+        rng: Optional[DeterministicRng] = None,
+        randomness: Optional[int] = None,
+    ) -> Tuple[AtomCiphertext, int]:
+        """``Enc(X, m)``: returns the ciphertext and the randomness ``r``
+        (needed by :class:`~repro.crypto.nizk.EncProof`)."""
+        r = randomness if randomness is not None else self.group.random_scalar(rng)
+        R = self.group.g ** r
+        c = message * (public_key ** r)
+        return AtomCiphertext(R=R, c=c, Y=None), r
+
+    def decrypt(self, secret: int, ciphertext: AtomCiphertext) -> GroupElement:
+        """``Dec(x, (R, c, Y))``; fails if ``Y != ⊥``."""
+        if ciphertext.Y is not None:
+            raise ValueError("Dec requires Y = ⊥ (ciphertext mid-reencryption)")
+        return ciphertext.c / (ciphertext.R ** secret)
+
+    # -- Shuffle (rerandomize + permute) ----------------------------------
+
+    def rerandomize(
+        self,
+        public_key: GroupElement,
+        ciphertext: AtomCiphertext,
+        rng: Optional[DeterministicRng] = None,
+        randomness: Optional[int] = None,
+    ) -> AtomCiphertext:
+        """Rerandomize ``(R, c, ⊥)`` under ``X``; fails if ``Y != ⊥``."""
+        if ciphertext.Y is not None:
+            raise ValueError("Shuffle requires Y = ⊥")
+        r = randomness if randomness is not None else self.group.random_scalar(rng)
+        return AtomCiphertext(
+            R=(self.group.g ** r) * ciphertext.R,
+            c=ciphertext.c * (public_key ** r),
+            Y=None,
+        )
+
+    def shuffle(
+        self,
+        public_key: GroupElement,
+        ciphertexts: Sequence[AtomCiphertext],
+        rng: Optional[DeterministicRng] = None,
+    ) -> Tuple[List[AtomCiphertext], List[int], List[int]]:
+        """``Shuffle(X, C)``: rerandomize all and permute.
+
+        Returns ``(C', perm, rands)`` where ``C'[i] =
+        Rerand(C[perm[i]], rands[i])``.  The permutation and randomness
+        are the prover's witness for the shuffle NIZK.
+        """
+        n = len(ciphertexts)
+        perm = list(range(n))
+        if rng is not None:
+            rng.shuffle(perm)
+        else:
+            import secrets as _secrets
+
+            for i in range(n - 1, 0, -1):
+                j = _secrets.randbelow(i + 1)
+                perm[i], perm[j] = perm[j], perm[i]
+        rands = [self.group.random_scalar(rng) for _ in range(n)]
+        shuffled = [
+            self.rerandomize(public_key, ciphertexts[perm[i]], randomness=rands[i])
+            for i in range(n)
+        ]
+        return shuffled, perm, rands
+
+    # -- ReEnc (out-of-order decrypt-and-reencrypt) ------------------------
+
+    def reencrypt(
+        self,
+        secret: int,
+        next_public_key: Optional[GroupElement],
+        ciphertext: AtomCiphertext,
+        rng: Optional[DeterministicRng] = None,
+        randomness: Optional[int] = None,
+    ) -> AtomCiphertext:
+        """``ReEnc(x, X', (R, c, Y))`` from Appendix A.
+
+        Strips this server's layer (via ``Y``) and, unless
+        ``next_public_key is None`` (the paper's ``X' = ⊥``, i.e. final
+        decryption), adds a layer under the next group's key (via ``R``).
+        """
+        R, c, Y = ciphertext.R, ciphertext.c, ciphertext.Y
+        if Y is None:
+            Y, R = R, self.group.identity
+        c_tmp = c / (Y ** secret)
+        if next_public_key is None:
+            return AtomCiphertext(R=R, c=c_tmp, Y=Y)
+        r = randomness if randomness is not None else self.group.random_scalar(rng)
+        return AtomCiphertext(
+            R=(self.group.g ** r) * R,
+            c=c_tmp * (next_public_key ** r),
+            Y=Y,
+        )
+
+    def reencrypt_batch(
+        self,
+        secret: int,
+        next_public_key: Optional[GroupElement],
+        batch: Sequence[AtomCiphertext],
+        rng: Optional[DeterministicRng] = None,
+    ) -> List[AtomCiphertext]:
+        return [self.reencrypt(secret, next_public_key, ct, rng) for ct in batch]
+
+    # -- Convenience for tests / apps --------------------------------------
+
+    def encrypt_bytes(
+        self,
+        public_key: GroupElement,
+        message: bytes,
+        rng: Optional[DeterministicRng] = None,
+    ) -> Tuple[List[AtomCiphertext], List[int]]:
+        """Encrypt an arbitrary-length byte string as a ciphertext vector."""
+        elements = self.group.encode_chunks(message)
+        pairs = [self.encrypt(public_key, el, rng) for el in elements]
+        return [ct for ct, _ in pairs], [r for _, r in pairs]
+
+    def decrypt_bytes(self, secret: int, ciphertexts: Sequence[AtomCiphertext]) -> bytes:
+        return self.group.decode_chunks(
+            self.decrypt(secret, ct) for ct in ciphertexts
+        )

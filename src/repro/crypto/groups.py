@@ -1,0 +1,314 @@
+"""Prime-order cyclic groups for Atom's cryptography.
+
+The paper uses the NIST P-256 elliptic curve.  A pure-Python elliptic
+curve is orders of magnitude too slow for protocol-scale experiments
+(see DESIGN.md substitution #1), so we implement the same abstract group
+interface over *Schnorr groups*: the subgroup of quadratic residues of
+Z_p^* for a safe prime p = 2q + 1.  The subgroup has prime order q, the
+Decision Diffie-Hellman assumption is standard there, and Python's
+native big-integer ``pow`` makes it fast enough to run the full protocol
+in-process.
+
+Three parameter sets are provided:
+
+- ``TOY`` (64-bit): unit tests and property-based tests.
+- ``TEST`` (128-bit): integration tests of full protocol rounds.
+- ``MODP2048`` (RFC 3526 group 14): realistic cost microbenchmarks.
+
+Messages are encoded into the QR subgroup with the classic safe-prime
+trick: m in [1, q] maps to m if m is a QR mod p, else to p - m; both are
+invertible because exactly one of {m, p - m} is a QR when p = 3 mod 4.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+
+class EncodingError(ValueError):
+    """Raised when a value cannot be encoded into / decoded from the group."""
+
+
+@dataclass(frozen=True)
+class GroupParams:
+    """Parameters of a Schnorr group over a safe prime ``p = 2q + 1``."""
+
+    name: str
+    p: int  # safe prime
+    g: int  # generator of the order-q QR subgroup
+
+    @property
+    def q(self) -> int:
+        """Order of the prime-order subgroup."""
+        return (self.p - 1) // 2
+
+    @property
+    def message_bytes(self) -> int:
+        """Safely encodable payload bytes per group element.
+
+        One byte below ``q``'s byte length, minus one length byte used by
+        the padding scheme.
+        """
+        return max(1, (self.q.bit_length() - 1) // 8 - 1)
+
+
+# Safe primes found deterministically (seeded search, see DESIGN.md).
+_TOY_P = 0xA1C71AA2E828476B
+_TEST_P = 0xEB93F78CC415E2B0BA5B209EF18B20E7
+_P256ISH_P = 0x9F9B41D4CD3CC3DB42914B1DF5F84DA30C82ED1E4728E754FDA103B8924619F3
+
+# RFC 3526, 2048-bit MODP group (group 14); p is a safe prime.
+_MODP2048_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+
+
+def _find_qr_generator(p: int) -> int:
+    """Return a generator of the QR subgroup (any QR != 1 works, q prime)."""
+    for candidate in (4, 9, 16, 25):
+        if candidate % p not in (0, 1):
+            return candidate % p
+    raise AssertionError("no generator found (p too small)")
+
+
+_PARAM_SETS = {
+    "TOY": GroupParams("TOY", _TOY_P, _find_qr_generator(_TOY_P)),
+    "TEST": GroupParams("TEST", _TEST_P, _find_qr_generator(_TEST_P)),
+    "P256ISH": GroupParams("P256ISH", _P256ISH_P, _find_qr_generator(_P256ISH_P)),
+    "MODP2048": GroupParams("MODP2048", _MODP2048_P, 4),
+}
+
+
+@dataclass(frozen=True)
+class GroupElement:
+    """An element of a :class:`Group`.
+
+    Elements are immutable and hashable; arithmetic uses operator
+    overloading (``*``, ``/``, ``**``) matching the multiplicative
+    notation of the paper's Appendix A.
+    """
+
+    value: int
+    group: "Group" = field(repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.value < self.group.p:
+            raise ValueError(f"element {self.value} outside Z_p^*")
+
+    def __mul__(self, other: "GroupElement") -> "GroupElement":
+        return GroupElement(self.value * other.value % self.group.p, self.group)
+
+    def __truediv__(self, other: "GroupElement") -> "GroupElement":
+        inv = pow(other.value, self.group.p - 2, self.group.p)
+        return GroupElement(self.value * inv % self.group.p, self.group)
+
+    def __pow__(self, exponent: int) -> "GroupElement":
+        return GroupElement(
+            pow(self.value, exponent % self.group.q, self.group.p), self.group
+        )
+
+    def inverse(self) -> "GroupElement":
+        return GroupElement(pow(self.value, self.group.p - 2, self.group.p), self.group)
+
+    def is_identity(self) -> bool:
+        return self.value == 1
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes((self.group.p.bit_length() + 7) // 8, "big")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GroupElement)
+            and self.value == other.value
+            and self.group.params.name == other.group.params.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.group.params.name))
+
+
+class Group:
+    """A prime-order Schnorr group with message encoding.
+
+    Exposes the generator ``g``, subgroup order ``q``, scalar sampling,
+    hashing to scalars (for Fiat-Shamir), and reversible message
+    encoding into the subgroup.
+    """
+
+    def __init__(self, params: GroupParams):
+        self.params = params
+        self.p = params.p
+        self.q = params.q
+        self.g = GroupElement(params.g, self)
+        self.identity = GroupElement(1, self)
+
+    # -- construction -------------------------------------------------
+
+    def element(self, value: int) -> GroupElement:
+        """Wrap an integer as a group element (must lie in Z_p^*)."""
+        return GroupElement(value % self.p, self)
+
+    def random_scalar(self, rng: Optional["DeterministicRng"] = None) -> int:
+        """Sample a uniform scalar in [1, q-1]."""
+        if rng is not None:
+            return rng.randint(1, self.q - 1)
+        return secrets.randbelow(self.q - 1) + 1
+
+    def random_element(self, rng: Optional["DeterministicRng"] = None) -> GroupElement:
+        """Sample a uniform element of the subgroup (as g^r)."""
+        return self.g ** self.random_scalar(rng)
+
+    # -- hashing ------------------------------------------------------
+
+    def hash_to_scalar(self, *parts: bytes) -> int:
+        """Hash byte strings to a scalar mod q (Fiat-Shamir challenge)."""
+        h = hashlib.sha3_256()
+        h.update(self.params.name.encode())
+        for part in parts:
+            h.update(len(part).to_bytes(8, "big"))
+            h.update(part)
+        return int.from_bytes(h.digest(), "big") % self.q
+
+    # -- message encoding ---------------------------------------------
+
+    def encode(self, message: bytes) -> GroupElement:
+        """Encode up to ``message_bytes`` bytes as a subgroup element.
+
+        The message is length-prefixed, interpreted as an integer
+        m in [1, q], and mapped to the QR subgroup via m -> m or p - m.
+        """
+        capacity = self.params.message_bytes
+        if len(message) > capacity:
+            raise EncodingError(
+                f"message of {len(message)} bytes exceeds capacity {capacity}"
+            )
+        # Fixed-width layout: message, zero padding, trailing length byte.
+        # The fixed width makes the int <-> bytes conversion unambiguous
+        # even when the message has leading zero bytes.
+        data = message + b"\x00" * (capacity - len(message)) + bytes([len(message)])
+        m = int.from_bytes(data, "big") + 1  # ensure m >= 1
+        if m > self.q:
+            raise EncodingError("encoded integer exceeds subgroup order")
+        if self._is_qr(m):
+            return GroupElement(m, self)
+        return GroupElement(self.p - m, self)
+
+    def decode(self, element: GroupElement) -> bytes:
+        """Invert :meth:`encode`."""
+        m = element.value
+        if m > self.q:
+            m = self.p - m
+        m -= 1
+        try:
+            raw = m.to_bytes(self.params.message_bytes + 1, "big")
+        except OverflowError as exc:
+            raise EncodingError("element does not carry an encoded message") from exc
+        length = raw[-1]
+        if length > self.params.message_bytes:
+            raise EncodingError(f"invalid length byte {length}")
+        return raw[:length]
+
+    def encode_chunks(self, message: bytes) -> List[GroupElement]:
+        """Encode an arbitrary-length message as a vector of elements.
+
+        The paper embeds larger messages as multiple curve points
+        ("a 64-byte message is two elliptic curve points"); this is the
+        same scheme for Schnorr-group elements.
+        """
+        capacity = self.params.message_bytes
+        chunks = [message[i: i + capacity] for i in range(0, len(message), capacity)]
+        if not chunks:
+            chunks = [b""]
+        return [self.encode(chunk) for chunk in chunks]
+
+    def decode_chunks(self, elements: Iterable[GroupElement]) -> bytes:
+        """Invert :meth:`encode_chunks`."""
+        return b"".join(self.decode(el) for el in elements)
+
+    def elements_for_size(self, num_bytes: int) -> int:
+        """Number of group elements needed to carry ``num_bytes`` bytes."""
+        capacity = self.params.message_bytes
+        return max(1, -(-num_bytes // capacity))
+
+    # -- internals ----------------------------------------------------
+
+    def _is_qr(self, value: int) -> bool:
+        """Euler's criterion: value^q == 1 mod p iff value is a QR."""
+        return pow(value, self.q, self.p) == 1
+
+    def __repr__(self) -> str:
+        return f"Group({self.params.name}, |p|={self.p.bit_length()} bits)"
+
+
+class DeterministicRng:
+    """Deterministic randomness expander (SHA3-based) for reproducibility.
+
+    Used wherever the protocol needs *public* or replayable randomness:
+    the beacon, simulations, and tests.  Secret keys default to
+    ``secrets`` unless a DeterministicRng is passed explicitly.
+    """
+
+    def __init__(self, seed: bytes):
+        self._seed = seed
+        self._counter = 0
+
+    def _next_block(self) -> bytes:
+        h = hashlib.sha3_256()
+        h.update(self._seed)
+        h.update(self._counter.to_bytes(8, "big"))
+        self._counter += 1
+        return h.digest()
+
+    def randbits(self, bits: int) -> int:
+        out = b""
+        while len(out) * 8 < bits:
+            out += self._next_block()
+        return int.from_bytes(out, "big") >> (len(out) * 8 - bits)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] via rejection sampling."""
+        span = high - low + 1
+        bits = span.bit_length()
+        while True:
+            candidate = self.randbits(bits)
+            if candidate < span:
+                return low + candidate
+
+    def randbytes(self, n: int) -> bytes:
+        out = b""
+        while len(out) < n:
+            out += self._next_block()
+        return out[:n]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]
+
+    def choice(self, items: list):
+        return items[self.randint(0, len(items) - 1)]
+
+
+_GROUP_CACHE: dict = {}
+
+
+def get_group(name: str = "TEST") -> Group:
+    """Return (and cache) a named group: TOY, TEST, P256ISH, or MODP2048."""
+    key = name.upper()
+    if key not in _PARAM_SETS:
+        raise KeyError(f"unknown group {name!r}; choose from {sorted(_PARAM_SETS)}")
+    if key not in _GROUP_CACHE:
+        _GROUP_CACHE[key] = Group(_PARAM_SETS[key])
+    return _GROUP_CACHE[key]

@@ -1,0 +1,216 @@
+"""``EncProof`` and ``ReEncProof`` NIZKs (paper §2.3 and Appendix A).
+
+``EncProof`` is a Schnorr proof of knowledge of the encryption
+randomness ``r`` with ``R = g^r``, bound (via the Fiat-Shamir hash) to
+the ciphertext, the group public key, and the entry-group id.  This is
+what stops a malicious user from (a) submitting a rerandomized copy of
+an honest user's ciphertext — she would need to know the combined
+randomness — and (b) replaying an exact (ciphertext, proof) pair to a
+*different* entry group, because the gid is hashed into the challenge.
+
+``ReEncProof`` is the Chaum-Pedersen generalization proving that a
+server's ``ReEnc(x, X', ·)`` output is correct with respect to its
+registered public key ``X_s = g^x``: knowledge of ``(x, r')`` with
+
+    X_s      = g^x
+    R' / R~  = g^r'            (R~ is R after the Y=⊥ normalization)
+    c / c'   = Y^x · X'^(-r')
+
+For the final-layer case (``X' = ⊥``) the third row degenerates to the
+classic Chaum-Pedersen equality ``c / c' = Y^x`` and ``r'`` is absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto import sigma
+from repro.crypto.elgamal import AtomCiphertext, AtomElGamal
+from repro.crypto.groups import Group, GroupElement
+from repro.crypto.sigma import SigmaProof
+
+
+@dataclass(frozen=True)
+class EncProof:
+    """Proof of plaintext knowledge for a fresh Atom ciphertext."""
+
+    proof: SigmaProof
+
+    @property
+    def size_bytes(self) -> int:
+        return self.proof.size_bytes
+
+
+def prove_encryption(
+    group: Group,
+    ciphertext: AtomCiphertext,
+    randomness: int,
+    public_key: GroupElement,
+    gid: int,
+) -> EncProof:
+    """Generate the ``EncProof`` NIZK for ``(c, pi) <- EncProof(pk, m)``.
+
+    The statement binds the full ciphertext, the group key, and the
+    entry-group id ``gid``.
+    """
+    rows = [(ciphertext.R, [group.g])]
+    context = _enc_context(ciphertext, public_key, gid)
+    return EncProof(sigma.prove(group, rows, [randomness], context))
+
+
+def verify_encryption(
+    group: Group,
+    ciphertext: AtomCiphertext,
+    proof: EncProof,
+    public_key: GroupElement,
+    gid: int,
+) -> bool:
+    """Verify an ``EncProof`` (all servers of the entry group run this)."""
+    if ciphertext.Y is not None:
+        return False
+    rows = [(ciphertext.R, [group.g])]
+    context = _enc_context(ciphertext, public_key, gid)
+    return sigma.verify(group, rows, proof.proof, context)
+
+
+def _enc_context(ct: AtomCiphertext, public_key: GroupElement, gid: int) -> bytes:
+    return b"repro.encproof.v1|" + ct.to_bytes() + public_key.to_bytes() + gid.to_bytes(8, "big")
+
+
+@dataclass(frozen=True)
+class ReEncProof:
+    """Proof of correct out-of-order decrypt-and-reencrypt."""
+
+    proof: SigmaProof
+    final_layer: bool
+
+    @property
+    def size_bytes(self) -> int:
+        return self.proof.size_bytes + 1
+
+
+def _reenc_rows(
+    group: Group,
+    server_public: GroupElement,
+    next_public_key: Optional[GroupElement],
+    before: AtomCiphertext,
+    after: AtomCiphertext,
+) -> Tuple[list, bool]:
+    """Build the sigma-protocol statement rows for ReEnc correctness."""
+    # Normalize the input exactly the way `reencrypt` does.
+    if before.Y is None:
+        y_eff = before.R
+        r_eff = group.identity
+    else:
+        y_eff = before.Y
+        r_eff = before.R
+    if after.Y != y_eff:
+        raise ValueError("output Y does not match normalized input")
+
+    if next_public_key is None:
+        # Final layer: c' = c / Y^x  and  R' = R~.
+        if after.R != r_eff:
+            raise ValueError("final-layer ReEnc must not touch R")
+        rows = [
+            (server_public, [group.g]),
+            (before.c / after.c, [y_eff]),
+        ]
+        return rows, True
+
+    rows = [
+        (server_public, [group.g, group.identity]),
+        (after.R / r_eff, [group.identity, group.g]),
+        (before.c / after.c, [y_eff, next_public_key.inverse()]),
+    ]
+    return rows, False
+
+
+def prove_reencryption(
+    group: Group,
+    secret: int,
+    randomness: Optional[int],
+    next_public_key: Optional[GroupElement],
+    before: AtomCiphertext,
+    after: AtomCiphertext,
+) -> ReEncProof:
+    """Prove that ``after == ReEnc(secret, next_public_key, before)``.
+
+    ``randomness`` is the ``r'`` used (``None`` for the final layer).
+    """
+    server_public = group.g ** secret
+    rows, final = _reenc_rows(group, server_public, next_public_key, before, after)
+    witness = [secret] if final else [secret, randomness]
+    context = _reenc_context(before, after, next_public_key)
+    return ReEncProof(sigma.prove(group, rows, witness, context), final)
+
+
+def verify_reencryption(
+    group: Group,
+    server_public: GroupElement,
+    next_public_key: Optional[GroupElement],
+    before: AtomCiphertext,
+    after: AtomCiphertext,
+    proof: ReEncProof,
+) -> bool:
+    """Verify a ``ReEncProof`` against the server's registered key."""
+    try:
+        rows, final = _reenc_rows(group, server_public, next_public_key, before, after)
+    except ValueError:
+        return False
+    if final != proof.final_layer:
+        return False
+    context = _reenc_context(before, after, next_public_key)
+    return sigma.verify(group, rows, proof.proof, context)
+
+
+def _reenc_context(
+    before: AtomCiphertext,
+    after: AtomCiphertext,
+    next_public_key: Optional[GroupElement],
+) -> bytes:
+    next_bytes = next_public_key.to_bytes() if next_public_key is not None else b"\x00"
+    return b"repro.reencproof.v1|" + before.to_bytes() + after.to_bytes() + next_bytes
+
+
+class ReEncryptor:
+    """Convenience bundle: perform ReEnc on a batch and prove each step.
+
+    Used by the NIZK variant of the group protocol (Algorithm 2,
+    step 3a): ``(B'_i, pi_i) = ReEncProof(sk_s, pk_i, B_i)``.
+    """
+
+    def __init__(self, group: Group):
+        self.group = group
+        self.scheme = AtomElGamal(group)
+
+    def reencrypt_and_prove(
+        self,
+        secret: int,
+        next_public_key: Optional[GroupElement],
+        batch: list,
+    ) -> Tuple[list, list]:
+        outputs = []
+        proofs = []
+        for ct in batch:
+            r = None if next_public_key is None else self.group.random_scalar()
+            out = self.scheme.reencrypt(secret, next_public_key, ct, randomness=r)
+            proof = prove_reencryption(self.group, secret, r, next_public_key, ct, out)
+            outputs.append(out)
+            proofs.append(proof)
+        return outputs, proofs
+
+    def verify_batch(
+        self,
+        server_public: GroupElement,
+        next_public_key: Optional[GroupElement],
+        before: list,
+        after: list,
+        proofs: list,
+    ) -> bool:
+        if not (len(before) == len(after) == len(proofs)):
+            return False
+        return all(
+            verify_reencryption(self.group, server_public, next_public_key, b, a, p)
+            for b, a, p in zip(before, after, proofs)
+        )

@@ -1,0 +1,226 @@
+"""Shamir secret sharing, Feldman VSS, and dealer-less DVSS (paper §4.5).
+
+Atom's many-trust groups need a *threshold* group key such that any
+``k - (h - 1)`` of the ``k`` members can decrypt, generated without a
+trusted dealer.  The paper uses the Stinson–Strobl DVSS [67]; we
+implement the standard joint-Feldman construction that underlies it:
+
+1. Every member ``i`` acts as a dealer of a random secret ``a_i0`` via
+   Feldman VSS: it samples a degree-``t-1`` polynomial ``f_i``, sends
+   ``f_i(j)`` to member ``j``, and broadcasts commitments
+   ``g^{a_i0}, ..., g^{a_i,t-1}``.
+2. Every member verifies its received shares against the commitments
+   and files complaints about bad dealers (who are then excluded).
+3. The group secret is ``x = sum_i f_i(0)`` (never materialized); the
+   group public key is the product of the constant-term commitments;
+   member ``j``'s share is ``s_j = sum_i f_i(j)``.
+
+Any ``t`` members can then reconstruct ``x`` — or, more usefully,
+perform *share-based* threshold decryption (see
+:mod:`repro.crypto.threshold`) without ever reconstructing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.groups import DeterministicRng, Group, GroupElement
+
+
+def _eval_poly(coeffs: Sequence[int], x: int, q: int) -> int:
+    """Evaluate a polynomial (coeffs[0] is the constant term) mod q."""
+    acc = 0
+    for coeff in reversed(coeffs):
+        acc = (acc * x + coeff) % q
+    return acc
+
+
+def lagrange_coefficient(q: int, xs: Sequence[int], j: int, at: int = 0) -> int:
+    """Lagrange coefficient for interpolation point ``xs[j]`` at ``at``."""
+    num, den = 1, 1
+    for m, xm in enumerate(xs):
+        if m == j:
+            continue
+        num = num * ((at - xm) % q) % q
+        den = den * ((xs[j] - xm) % q) % q
+    return num * pow(den, q - 2, q) % q
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: evaluation point ``index`` and value."""
+
+    index: int  # 1-based evaluation point
+    value: int
+
+
+def shamir_share(
+    group: Group,
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    rng: Optional[DeterministicRng] = None,
+) -> List[Share]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it."""
+    if not 1 <= threshold <= num_shares:
+        raise ValueError("need 1 <= threshold <= num_shares")
+    coeffs = [secret % group.q] + [
+        group.random_scalar(rng) for _ in range(threshold - 1)
+    ]
+    return [Share(i, _eval_poly(coeffs, i, group.q)) for i in range(1, num_shares + 1)]
+
+
+def shamir_reconstruct(group: Group, shares: Sequence[Share], at: int = 0) -> int:
+    """Interpolate the sharing polynomial at ``at`` (default: the secret)."""
+    xs = [s.index for s in shares]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate share indices")
+    acc = 0
+    for j, share in enumerate(shares):
+        acc = (acc + share.value * lagrange_coefficient(group.q, xs, j, at)) % group.q
+    return acc
+
+
+@dataclass(frozen=True)
+class FeldmanDealing:
+    """A Feldman VSS dealing: per-member shares plus public commitments."""
+
+    shares: Tuple[Share, ...]
+    commitments: Tuple[GroupElement, ...]  # g^{a_0}, ..., g^{a_{t-1}}
+
+    @property
+    def public(self) -> GroupElement:
+        """The dealt secret's public image ``g^{a_0}``."""
+        return self.commitments[0]
+
+
+def feldman_deal(
+    group: Group,
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    rng: Optional[DeterministicRng] = None,
+) -> FeldmanDealing:
+    """Deal ``secret`` with Feldman verifiability."""
+    coeffs = [secret % group.q] + [
+        group.random_scalar(rng) for _ in range(threshold - 1)
+    ]
+    shares = tuple(
+        Share(i, _eval_poly(coeffs, i, group.q)) for i in range(1, num_shares + 1)
+    )
+    commitments = tuple(group.g ** c for c in coeffs)
+    return FeldmanDealing(shares=shares, commitments=commitments)
+
+
+def feldman_verify(group: Group, share: Share, commitments: Sequence[GroupElement]) -> bool:
+    """Check ``g^{share.value} == prod_t commitments[t]^{index^t}``."""
+    lhs = group.g ** share.value
+    rhs = group.identity
+    power = 1
+    for commitment in commitments:
+        rhs = rhs * (commitment ** power)
+        power = power * share.index % group.q
+    return lhs == rhs
+
+
+@dataclass
+class DvssResult:
+    """Outcome of a dealer-less DVSS run.
+
+    ``shares[j]`` is member ``j``'s (0-based) share of the group secret;
+    its evaluation point is ``j + 1``.  ``qualified`` lists the dealers
+    whose dealings were accepted (all members, absent misbehaviour).
+    """
+
+    group_public: GroupElement
+    shares: List[Share]
+    threshold: int
+    qualified: List[int]
+    share_publics: List[GroupElement] = field(default_factory=list)
+
+
+class DvssProtocol:
+    """Dealer-less distributed verifiable secret sharing (joint Feldman).
+
+    ``run`` simulates the full message exchange among ``k`` members and
+    returns every member's view.  ``corrupt_dealers`` can be given bad
+    dealings to exercise the complaint path.
+    """
+
+    def __init__(self, group: Group, num_members: int, threshold: int):
+        if not 1 <= threshold <= num_members:
+            raise ValueError("need 1 <= threshold <= num_members")
+        self.group = group
+        self.k = num_members
+        self.t = threshold
+
+    def run(
+        self,
+        rng: Optional[DeterministicRng] = None,
+        corrupt_dealers: Optional[Dict[int, int]] = None,
+    ) -> DvssResult:
+        """Execute DVSS.  ``corrupt_dealers`` maps a dealer index to a
+        member index to whom it sends a corrupted share; such dealers
+        are detected and disqualified."""
+        corrupt_dealers = corrupt_dealers or {}
+        dealings: List[FeldmanDealing] = []
+        for dealer in range(self.k):
+            secret = self.group.random_scalar(rng)
+            dealing = feldman_deal(self.group, secret, self.t, self.k, rng)
+            if dealer in corrupt_dealers:
+                victim = corrupt_dealers[dealer]
+                shares = list(dealing.shares)
+                bad = Share(shares[victim].index, (shares[victim].value + 1) % self.group.q)
+                shares[victim] = bad
+                dealing = FeldmanDealing(tuple(shares), dealing.commitments)
+            dealings.append(dealing)
+
+        # Complaint round: every member verifies every received share.
+        qualified = []
+        for dealer, dealing in enumerate(dealings):
+            complaints = [
+                member
+                for member in range(self.k)
+                if not feldman_verify(
+                    self.group, dealing.shares[member], dealing.commitments
+                )
+            ]
+            if not complaints:
+                qualified.append(dealer)
+
+        if len(qualified) < 1:
+            raise RuntimeError("all dealers disqualified")
+
+        group_public = self.group.identity
+        for dealer in qualified:
+            group_public = group_public * dealings[dealer].public
+
+        shares = []
+        for member in range(self.k):
+            value = sum(
+                dealings[dealer].shares[member].value for dealer in qualified
+            ) % self.group.q
+            shares.append(Share(member + 1, value))
+
+        # Public per-member share images g^{s_j}, used to verify partial
+        # decryptions: product over qualified dealers of the Feldman
+        # evaluation at j+1.
+        share_publics = []
+        for member in range(self.k):
+            acc = self.group.identity
+            for dealer in qualified:
+                power = 1
+                for commitment in dealings[dealer].commitments:
+                    acc = acc * (commitment ** power)
+                    power = power * (member + 1) % self.group.q
+            share_publics.append(acc)
+
+        return DvssResult(
+            group_public=group_public,
+            shares=shares,
+            threshold=self.t,
+            qualified=qualified,
+            share_publics=share_publics,
+        )

@@ -1,0 +1,126 @@
+"""Generalized Schnorr sigma protocols with Fiat-Shamir.
+
+Atom needs several NIZK proofs of knowledge over discrete-log relations
+(Appendix A): proof of plaintext knowledge (``EncProof``), proof of
+correct decrypt-and-reencrypt (``ReEncProof``, a Chaum-Pedersen
+generalization), and the share-consistency proofs inside DVSS.  All of
+them are instances of one pattern:
+
+    prove knowledge of a witness vector (w_1, ..., w_k) such that for
+    every statement j:   P_j  =  prod_i  B_{j,i} ^ w_i
+
+(an "AND of linear discrete-log relations").  This module implements
+that pattern once — commitment, Fiat-Shamir challenge with domain
+separation and statement binding, response, verification — and the
+concrete NIZKs are thin wrappers.
+
+Non-malleability: the challenge hashes the full statement (all bases,
+all targets) plus a caller-supplied context string (e.g. the entry-group
+id), so a proof cannot be replayed for a different statement or group,
+matching the paper's requirement that "the same proof cannot be used
+for two different public keys".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.groups import Group, GroupElement
+
+# A statement row: (target P_j, bases [B_j1 ... B_jk]).  A base of None
+# means the corresponding witness does not appear in this row (exponent
+# fixed to 0); we encode that by using the group identity as base.
+StatementRow = Tuple[GroupElement, Sequence[GroupElement]]
+
+
+@dataclass(frozen=True)
+class SigmaProof:
+    """A Fiat-Shamir transformed sigma-protocol transcript."""
+
+    commitments: Tuple[int, ...]  # t_j values (group element ints)
+    challenge: int
+    responses: Tuple[int, ...]  # z_i values (scalars)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size (for the simulator's byte accounting)."""
+        return 32 * (len(self.commitments) + 1 + len(self.responses))
+
+
+def _challenge(
+    group: Group,
+    rows: Sequence[StatementRow],
+    commitments: Sequence[GroupElement],
+    context: bytes,
+) -> int:
+    parts: List[bytes] = [b"repro.sigma.v1", context]
+    for target, bases in rows:
+        parts.append(target.to_bytes())
+        for base in bases:
+            parts.append(base.to_bytes())
+    for t in commitments:
+        parts.append(t.to_bytes())
+    return group.hash_to_scalar(*parts)
+
+
+def prove(
+    group: Group,
+    rows: Sequence[StatementRow],
+    witness: Sequence[int],
+    context: bytes = b"",
+) -> SigmaProof:
+    """Prove knowledge of ``witness`` satisfying every statement row.
+
+    Rows must be consistent: each row's base list has one entry per
+    witness component.
+    """
+    num_witness = len(witness)
+    for _, bases in rows:
+        if len(bases) != num_witness:
+            raise ValueError("statement row arity does not match witness length")
+
+    nonces = [group.random_scalar() for _ in range(num_witness)]
+    commitments = []
+    for _, bases in rows:
+        t = group.identity
+        for base, nonce in zip(bases, nonces):
+            t = t * (base ** nonce)
+        commitments.append(t)
+
+    e = _challenge(group, rows, commitments, context)
+    responses = tuple(
+        (nonce + e * w) % group.q for nonce, w in zip(nonces, witness)
+    )
+    return SigmaProof(
+        commitments=tuple(t.value for t in commitments),
+        challenge=e,
+        responses=responses,
+    )
+
+
+def verify(
+    group: Group,
+    rows: Sequence[StatementRow],
+    proof: SigmaProof,
+    context: bytes = b"",
+) -> bool:
+    """Verify a :class:`SigmaProof` against the statement rows."""
+    if len(proof.commitments) != len(rows):
+        return False
+    try:
+        commitments = [group.element(t) for t in proof.commitments]
+    except ValueError:
+        return False
+    e = _challenge(group, rows, commitments, context)
+    if e != proof.challenge:
+        return False
+    for (target, bases), t in zip(rows, commitments):
+        if len(bases) != len(proof.responses):
+            return False
+        lhs = group.identity
+        for base, z in zip(bases, proof.responses):
+            lhs = lhs * (base ** z)
+        if lhs != t * (target ** e):
+            return False
+    return True

@@ -1,0 +1,43 @@
+"""Calibrated performance simulator (paper §6).
+
+The paper's evaluation runs on 1,024 EC2 machines with `tc`-injected
+latencies; beyond 1,024 servers the *paper itself* switches to a
+simulation that replaces crypto operations with the measured costs of
+Table 3 (Figure 11).  This package applies that methodology to every
+large-scale experiment:
+
+- :mod:`repro.sim.costmodel` — per-primitive CPU costs.  Defaults are
+  the paper's Table 3 numbers; :func:`measure_costs` re-calibrates from
+  the local pure-Python implementation so that simulated experiments
+  can be driven by *our* substrate too.
+- :mod:`repro.sim.machines` — heterogeneous fleets (the §6.2 core and
+  bandwidth mixes) and an Amdahl parallelism model (Figure 7).
+- :mod:`repro.sim.network` — pairwise latencies (40–160 ms clustered
+  topology of Figure 8), bandwidth-limited transfer times, and TLS
+  connection-setup overhead (the Figure 11 sub-linearity).
+- :mod:`repro.sim.mixnet` — single-group iteration model (Figures 5–7,
+  Table 4).
+- :mod:`repro.sim.events` — a small discrete-event engine.
+- :mod:`repro.sim.runner` — end-to-end round simulation over the full
+  topology (Figures 9–11, Table 12, bandwidth accounting).
+"""
+
+from repro.sim.costmodel import PrimitiveCosts, measure_costs
+from repro.sim.machines import Fleet, MachineSpec, amdahl_speedup
+from repro.sim.network import NetworkModel
+from repro.sim.mixnet import GroupMixModel, group_setup_latency
+from repro.sim.runner import AtomSimulator, SimConfig, SimResult
+
+__all__ = [
+    "PrimitiveCosts",
+    "measure_costs",
+    "Fleet",
+    "MachineSpec",
+    "amdahl_speedup",
+    "NetworkModel",
+    "GroupMixModel",
+    "group_setup_latency",
+    "AtomSimulator",
+    "SimConfig",
+    "SimResult",
+]

@@ -1,0 +1,93 @@
+"""A minimal discrete-event engine for the round simulator.
+
+The Atom round is a DAG of (layer, group) tasks: a group's mixing task
+at layer ``t`` starts when the batches from all its predecessor groups
+have arrived.  The engine is a classic time-ordered event queue;
+:class:`TaskGraph` layers task-dependency tracking on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+
+class EventQueue:
+    """Time-ordered callback queue."""
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def run(self) -> float:
+        """Drain the queue; returns the final clock value."""
+        while self._heap:
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            callback()
+        return self.now
+
+
+@dataclass
+class _TaskState:
+    pending_inputs: int
+    ready_time: float = 0.0
+    duration: float = 0.0
+    finish: Optional[float] = None
+
+
+class TaskGraph:
+    """Dependency-driven task scheduling over an :class:`EventQueue`.
+
+    Each task fires once all its declared inputs have arrived; its
+    finish time is ``max(arrival times) + duration``.  Edges carry
+    per-edge delays (network transfer + latency).
+    """
+
+    def __init__(self):
+        self.queue = EventQueue()
+        self._tasks: Dict[Hashable, _TaskState] = {}
+        self._edges: Dict[Hashable, List[Tuple[Hashable, float]]] = {}
+        self.finish_times: Dict[Hashable, float] = {}
+
+    def add_task(self, key: Hashable, duration: float, num_inputs: int) -> None:
+        if key in self._tasks:
+            raise ValueError(f"duplicate task {key!r}")
+        self._tasks[key] = _TaskState(pending_inputs=num_inputs, duration=duration)
+
+    def add_edge(self, src: Hashable, dst: Hashable, delay: float) -> None:
+        self._edges.setdefault(src, []).append((dst, delay))
+
+    def start(self, key: Hashable, time: float = 0.0) -> None:
+        """Mark a source task (no inputs) ready at ``time``."""
+        state = self._tasks[key]
+        state.ready_time = max(state.ready_time, time)
+        if state.pending_inputs == 0:
+            self.queue.schedule(time, lambda: self._finish(key))
+
+    def _deliver(self, key: Hashable, time: float) -> None:
+        state = self._tasks[key]
+        state.ready_time = max(state.ready_time, time)
+        state.pending_inputs -= 1
+        if state.pending_inputs == 0:
+            self.queue.schedule(state.ready_time, lambda: self._finish(key))
+
+    def _finish(self, key: Hashable) -> None:
+        state = self._tasks[key]
+        finish = self.queue.now + state.duration
+        state.finish = finish
+        self.finish_times[key] = finish
+        for dst, delay in self._edges.get(key, []):
+            self._deliver(dst, finish + delay)
+
+    def run(self) -> Dict[Hashable, float]:
+        self.queue.run()
+        return self.finish_times

@@ -1,0 +1,101 @@
+"""Machine specs, fleet mixes, and the parallelism model (paper §6.2).
+
+The paper's fleet: 80% c4.xlarge (4 cores), 10% c4.2xlarge (8), 5%
+c4.4xlarge (16), 5% c4.8xlarge (32/36), with a Tor-statistics bandwidth
+mix.  Parallel speed-up follows Amdahl's law with a variant-dependent
+parallel fraction: the trap variant's mixing is embarrassingly parallel
+(Figure 7 shows near-linear speed-up), while the NIZK variant's proof
+chain is partly sequential (sub-linear speed-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Parallelizable work fraction per variant (fit to Figure 7's curves).
+PARALLEL_FRACTION = {"trap": 0.995, "nizk": 0.93, "basic": 0.995}
+
+
+def amdahl_speedup(cores: int, parallel_fraction: float) -> float:
+    """Classic Amdahl speed-up over one core."""
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    if not 0 <= parallel_fraction <= 1:
+        raise ValueError("parallel fraction must be in [0, 1]")
+    return 1.0 / ((1 - parallel_fraction) + parallel_fraction / cores)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One server's hardware."""
+
+    cores: int
+    bandwidth_mbps: float
+
+    def effective_cores(self, variant: str) -> float:
+        return amdahl_speedup(self.cores, PARALLEL_FRACTION[variant])
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_mbps * 1e6 / 8
+
+
+#: (fraction, cores, bandwidth Mbps) — §6.2 fleet mix.
+PAPER_FLEET_MIX: Tuple[Tuple[float, int, float], ...] = (
+    (0.80, 4, 100.0),
+    (0.10, 8, 150.0),
+    (0.05, 16, 250.0),
+    (0.05, 32, 350.0),
+)
+
+#: The three 36-core machines used by the Riposte/Vuvuzela baselines.
+C4_8XLARGE = MachineSpec(cores=36, bandwidth_mbps=10_000.0)
+
+
+class Fleet:
+    """A population of machines with deterministic mix assignment."""
+
+    def __init__(self, machines: Sequence[MachineSpec]):
+        if not machines:
+            raise ValueError("fleet must not be empty")
+        self.machines = list(machines)
+
+    @classmethod
+    def paper_mix(cls, num_servers: int) -> "Fleet":
+        """The §6.2 heterogeneous fleet."""
+        machines = []
+        boundaries = []
+        acc = 0.0
+        for fraction, cores, bw in PAPER_FLEET_MIX:
+            acc += fraction
+            boundaries.append((acc, cores, bw))
+        for i in range(num_servers):
+            u = (i + 0.5) / num_servers
+            for bound, cores, bw in boundaries:
+                if u <= bound + 1e-9:
+                    machines.append(MachineSpec(cores, bw))
+                    break
+            else:
+                _, cores, bw = PAPER_FLEET_MIX[-1][0], PAPER_FLEET_MIX[-1][1], PAPER_FLEET_MIX[-1][2]
+                machines.append(MachineSpec(cores, bw))
+        return cls(machines)
+
+    @classmethod
+    def homogeneous(cls, num_servers: int, cores: int = 4, bandwidth_mbps: float = 100.0) -> "Fleet":
+        return cls([MachineSpec(cores, bandwidth_mbps)] * num_servers)
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def total_effective_cores(self, variant: str) -> float:
+        return sum(m.effective_cores(variant) for m in self.machines)
+
+    def mean_effective_cores(self, variant: str) -> float:
+        return self.total_effective_cores(variant) / len(self.machines)
+
+    def percentile_machine(self, fraction: float) -> MachineSpec:
+        """The machine at the given population fraction (0 = weakest)."""
+        ordered = sorted(self.machines, key=lambda m: (m.cores, m.bandwidth_mbps))
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]

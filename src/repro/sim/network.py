@@ -1,0 +1,62 @@
+"""Network model: latencies, bandwidth, TLS setup (paper §6, Figure 8).
+
+The paper injects 40–160 ms of pairwise latency with `tc`, arranged as
+clusters: ~40 ms within a cluster, 80–160 ms across clusters.  Transfer
+time adds serialization at the sender's bandwidth.  Every (ordered)
+server pair communicating for the first time in a round pays a TLS
+connection-setup cost — negligible at 1,024 servers, the source of the
+sub-linear scaling at 2^15 servers (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.machines import MachineSpec
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Deterministic latency/bandwidth model."""
+
+    num_clusters: int = 4
+    intra_cluster_latency_s: float = 0.040
+    min_inter_latency_s: float = 0.080
+    max_inter_latency_s: float = 0.160
+    tls_setup_s: float = 5.0e-3
+
+    def cluster_of(self, server_id: int, num_servers: int) -> int:
+        per = max(1, num_servers // self.num_clusters)
+        return min(self.num_clusters - 1, server_id // per)
+
+    def latency(self, src: int, dst: int, num_servers: int) -> float:
+        """One-way latency between two servers."""
+        if src == dst:
+            return 0.0
+        a = self.cluster_of(src, num_servers)
+        b = self.cluster_of(dst, num_servers)
+        if a == b:
+            return self.intra_cluster_latency_s
+        # deterministic spread over [min, max] by cluster distance
+        span = self.max_inter_latency_s - self.min_inter_latency_s
+        distance = abs(a - b) / max(1, self.num_clusters - 1)
+        return self.min_inter_latency_s + span * distance
+
+    def mean_latency(self) -> float:
+        """Average pairwise latency over the cluster structure."""
+        total, count = 0.0, 0
+        for a in range(self.num_clusters):
+            for b in range(self.num_clusters):
+                if a == b:
+                    total += self.intra_cluster_latency_s
+                else:
+                    span = self.max_inter_latency_s - self.min_inter_latency_s
+                    distance = abs(a - b) / max(1, self.num_clusters - 1)
+                    total += self.min_inter_latency_s + span * distance
+                count += 1
+        return total / count
+
+    def transfer_time(self, num_bytes: float, sender: MachineSpec) -> float:
+        """Serialization time at the sender's bandwidth (latency added
+        separately)."""
+        return num_bytes / sender.bandwidth_bytes_per_s

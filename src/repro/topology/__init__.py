@@ -1,0 +1,29 @@
+"""Random permutation networks (paper §3).
+
+Atom arranges its (logical) mixing nodes in a layered graph with
+branching factor ``beta``; after ``T`` iterations of
+shuffle-split-and-forward the output is a near-uniform random
+permutation of the inputs.  Two topologies from the paper:
+
+- :class:`repro.topology.square.SquareNetwork` — Håstad's square
+  lattice shuffle: sqrt(M) nodes per layer, each connected to all
+  nodes of the next layer, ``T ∈ O(1)`` iterations.  This is the
+  topology used in all of the paper's experiments (T = 10).
+- :class:`repro.topology.butterfly.IteratedButterflyNetwork` —
+  O(log^2 M)-depth iterated butterfly with beta = 2.
+
+Both subclass :class:`repro.topology.base.PermutationNetwork`, which
+fixes the interface the protocol engine uses: layers of node ids,
+per-node successor lists, and batch routing.
+"""
+
+from repro.topology.base import PermutationNetwork, route_batches
+from repro.topology.square import SquareNetwork
+from repro.topology.butterfly import IteratedButterflyNetwork
+
+__all__ = [
+    "PermutationNetwork",
+    "SquareNetwork",
+    "IteratedButterflyNetwork",
+    "route_batches",
+]

@@ -1,0 +1,101 @@
+"""Abstract interface for Atom's layered permutation networks.
+
+A topology is a layered DAG.  Every layer has the same number of nodes
+(``width``); node ``v`` in layer ``t < depth - 1`` forwards one batch to
+each of its ``beta`` successors in layer ``t + 1``.  The protocol engine
+only needs three things from a topology:
+
+- ``width`` / ``depth`` / ``beta``,
+- ``successors(t, v)``: the next-layer node ids fed by node ``v``,
+- how a node's shuffled ciphertext set is divided into batches
+  (:func:`route_batches`).
+
+Message-count bookkeeping: with ``M`` messages and width ``W``, each
+node holds ``M / W`` ciphertexts per iteration; the division into
+``beta`` even batches is exact when ``beta`` divides the node load
+(callers pad with dummies otherwise, as the paper does for the
+butterfly analysis).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class PermutationNetwork(abc.ABC):
+    """A layered mixing topology with uniform branching factor."""
+
+    #: nodes per layer
+    width: int
+    #: number of mixing iterations (layers of edges = depth; layers of
+    #: nodes = depth + 1 conceptually, but the last layer only decrypts)
+    depth: int
+    #: branching factor: batches forwarded per node per iteration
+    beta: int
+
+    @abc.abstractmethod
+    def successors(self, layer: int, node: int) -> List[int]:
+        """Next-layer node ids that ``node`` in ``layer`` forwards to."""
+
+    def predecessors(self, layer: int, node: int) -> List[int]:
+        """Previous-layer node ids feeding ``node`` in ``layer`` (>=1)."""
+        return [
+            prev
+            for prev in range(self.width)
+            if node in self.successors(layer - 1, prev)
+        ]
+
+    def validate(self) -> None:
+        """Sanity-check the wiring: every node has ``beta`` successors
+        and total in-degree equals total out-degree per layer."""
+        for layer in range(self.depth - 1):
+            out_edges = 0
+            for node in range(self.width):
+                succ = self.successors(layer, node)
+                if len(succ) != self.beta:
+                    raise ValueError(
+                        f"node {node} layer {layer} has {len(succ)} successors, "
+                        f"expected beta={self.beta}"
+                    )
+                if any(not 0 <= s < self.width for s in succ):
+                    raise ValueError("successor out of range")
+                out_edges += len(succ)
+            in_degrees = [0] * self.width
+            for node in range(self.width):
+                for s in self.successors(layer, node):
+                    in_degrees[s] += 1
+            if sum(in_degrees) != out_edges:
+                raise ValueError("edge count mismatch")
+
+    def node_load(self, num_messages: int) -> int:
+        """Ciphertexts per node per iteration (requires even division)."""
+        if num_messages % self.width:
+            raise ValueError(
+                f"{num_messages} messages do not divide evenly over "
+                f"width {self.width}; pad with dummies first"
+            )
+        return num_messages // self.width
+
+    def padded_message_count(self, num_messages: int) -> int:
+        """Smallest count >= num_messages divisible by width * beta.
+
+        Divisibility by ``width * beta`` guarantees both the per-node
+        load and the per-batch split are exact at every iteration.
+        """
+        unit = self.width * self.beta
+        return -(-num_messages // unit) * unit
+
+
+def route_batches(items: Sequence[T], beta: int) -> List[List[T]]:
+    """Divide a shuffled ciphertext set into ``beta`` evenly sized batches.
+
+    Algorithm 1, step 2 ("Divide").  The set must already be shuffled;
+    slicing contiguous runs is then a uniform split.
+    """
+    if len(items) % beta:
+        raise ValueError(f"{len(items)} items do not divide into {beta} batches")
+    per = len(items) // beta
+    return [list(items[i * per: (i + 1) * per]) for i in range(beta)]

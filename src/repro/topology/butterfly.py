@@ -1,0 +1,58 @@
+"""Iterated butterfly permutation network (paper §3).
+
+A butterfly network on ``W = 2^d`` nodes has ``d`` stages; in stage
+``s``, node ``v`` exchanges with node ``v XOR 2^s``.  Czumaj and
+Vöcking [26] showed that O(log M) *repetitions* of the full butterfly
+produce an almost-uniform random permutation (on a constant fraction of
+elements — dummy traffic covers the rest), for a total depth of
+O(log^2 M).
+
+Here each node forwards beta = 2 batches per iteration: one to itself
+("straight" edge) and one to its butterfly partner ("cross" edge).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.topology.base import PermutationNetwork
+
+
+class IteratedButterflyNetwork(PermutationNetwork):
+    """``repetitions`` full butterflies over ``2^log_width`` nodes."""
+
+    def __init__(self, log_width: int, repetitions: int = 0):
+        if log_width < 1:
+            raise ValueError("log_width must be >= 1")
+        self.log_width = log_width
+        self.width = 1 << log_width
+        # Paper: O(log M) repetitions; default to log2(width) repetitions.
+        self.repetitions = repetitions if repetitions > 0 else log_width
+        # depth counts mixing iterations: one per butterfly stage.
+        self.depth = self.repetitions * log_width + 1
+        self.beta = 2
+
+    def stage_of_layer(self, layer: int) -> int:
+        """Which butterfly stage (0..log_width-1) runs at this layer."""
+        return layer % self.log_width
+
+    def successors(self, layer: int, node: int) -> List[int]:
+        if not 0 <= layer < self.depth - 1:
+            raise IndexError(f"layer {layer} has no successors (depth {self.depth})")
+        if not 0 <= node < self.width:
+            raise IndexError(f"node {node} out of range")
+        partner = node ^ (1 << self.stage_of_layer(layer))
+        return [node, partner]
+
+    @classmethod
+    def for_messages(cls, num_messages: int) -> "IteratedButterflyNetwork":
+        """Sized so each node handles O(1) messages."""
+        log_width = max(1, math.ceil(math.log2(max(2, num_messages))))
+        return cls(log_width=log_width)
+
+    def __repr__(self) -> str:
+        return (
+            f"IteratedButterflyNetwork(width={self.width}, "
+            f"repetitions={self.repetitions}, depth={self.depth})"
+        )

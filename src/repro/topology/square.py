@@ -1,0 +1,51 @@
+"""Håstad's square-lattice shuffle topology (paper §3, Figure 1).
+
+Håstad [40] showed that repeatedly permuting the rows and columns of a
+square matrix of M elements yields a near-uniform permutation after
+O(1) iterations.  Viewed as a network: sqrt(M) nodes per layer, each
+node shuffles sqrt(M) ciphertexts and forwards one batch to *every*
+node of the next layer (beta = width).  Transposing the matrix between
+iterations is exactly "send the i-th batch to the i-th node".
+
+The paper runs this topology with T = 10 iterations for all end-to-end
+experiments.  When there are fewer servers than nodes, multiple nodes
+are emulated by one server (handled by the assignment layer, §4.7).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.base import PermutationNetwork
+
+#: Number of mixing iterations used in the paper's evaluation (§6.2).
+PAPER_ITERATIONS = 10
+
+
+class SquareNetwork(PermutationNetwork):
+    """Fully connected layered topology: beta == width."""
+
+    def __init__(self, width: int, depth: int = PAPER_ITERATIONS):
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.width = width
+        self.depth = depth
+        self.beta = width
+
+    def successors(self, layer: int, node: int) -> List[int]:
+        if not 0 <= layer < self.depth - 1:
+            raise IndexError(f"layer {layer} has no successors (depth {self.depth})")
+        if not 0 <= node < self.width:
+            raise IndexError(f"node {node} out of range")
+        return list(range(self.width))
+
+    @classmethod
+    def for_messages(cls, num_messages: int, depth: int = PAPER_ITERATIONS) -> "SquareNetwork":
+        """Width ~ sqrt(M), the natural square-lattice sizing."""
+        width = max(1, round(num_messages ** 0.5))
+        return cls(width=width, depth=depth)
+
+    def __repr__(self) -> str:
+        return f"SquareNetwork(width={self.width}, depth={self.depth})"

@@ -1,0 +1,193 @@
+"""Tests for the microblogging and dialing applications."""
+
+import pytest
+
+from repro.apps.dialing import (
+    DialingService,
+    DialRequest,
+    laplace_noise_count,
+    open_dial,
+    seal_dial,
+)
+from repro.apps.microblog import BulletinBoard, MicroblogService
+from repro.core import DeploymentConfig
+from repro.crypto.elgamal import ElGamalKeyPair
+from repro.crypto.groups import DeterministicRng, get_group
+
+
+def tiny_config(**overrides):
+    base = dict(
+        num_servers=6,
+        num_groups=2,
+        group_size=2,
+        variant="trap",
+        iterations=2,
+        message_size=16,
+        crypto_group="TOY",
+    )
+    base.update(overrides)
+    return DeploymentConfig(**base)
+
+
+class TestBulletinBoard:
+    def test_publish_read(self):
+        board = BulletinBoard()
+        board.publish(0, [b"a", b"b"])
+        board.publish(1, [b"c"])
+        assert board.read(0) == [b"a", b"b"]
+        assert board.read(2) == []
+        assert sorted(board.all_posts()) == [b"a", b"b", b"c"]
+
+
+class TestMicroblog:
+    def test_round_publishes_all_posts(self):
+        service = MicroblogService(config=tiny_config())
+        posts = [f"post {i}".encode() for i in range(4)]
+        result = service.run_round(0, posts)
+        assert result.ok
+        assert sorted(service.board.read(0)) == sorted(posts)
+
+    def test_oversized_post_rejected(self):
+        service = MicroblogService(config=tiny_config())
+        with pytest.raises(ValueError):
+            service.run_round(0, [b"x" * 50] * 4)
+
+    def test_plain_variant(self):
+        service = MicroblogService(config=tiny_config(variant="basic"))
+        posts = [f"p{i}".encode() for i in range(4)]
+        result = service.run_round(0, posts)
+        assert sorted(service.board.read(0)) == sorted(posts)
+
+    def test_aborted_round_publishes_nothing(self):
+        from repro.core.server import Behavior
+
+        service = MicroblogService(config=tiny_config())
+        rnd_dep = service.deployment
+        # force an always-detected disruption: duplicate a ciphertext
+        posts = [f"post {i}".encode() for i in range(4)]
+        rnd = rnd_dep.start_round(0)
+        rnd.contexts[0].servers[0].behavior = Behavior.DUPLICATE_ONE
+        for i, post in enumerate(posts):
+            rnd_dep.submit_trap(rnd, post, i % 2)
+        result = rnd_dep.run_round(rnd)
+        if result.aborted:
+            service.board.publish(0, result.messages) if result.ok else None
+            assert service.board.read(0) == []
+
+
+class TestDialSealing:
+    def test_seal_open_roundtrip(self):
+        group = get_group("TOY")
+        bob = ElGamalKeyPair.generate(group)
+        sealed = seal_dial(group, b"alice-public-key-bytes", bob)
+        assert open_dial(group, bob, sealed) == b"alice-public-key-bytes"
+
+    def test_wrong_recipient_cannot_open(self):
+        group = get_group("TOY")
+        bob = ElGamalKeyPair.generate(group)
+        eve = ElGamalKeyPair.generate(group)
+        sealed = seal_dial(group, b"alice", bob)
+        with pytest.raises(Exception):
+            open_dial(group, eve, sealed)
+
+    def test_request_wire_roundtrip(self):
+        request = DialRequest(recipient_id=42, sealed=b"sealed-bytes")
+        assert DialRequest.from_bytes(request.to_bytes()) == request
+
+    def test_short_wire_rejected(self):
+        with pytest.raises(ValueError):
+            DialRequest.from_bytes(b"abc")
+
+
+class TestLaplaceNoise:
+    def test_nonnegative(self):
+        rng = DeterministicRng(b"noise")
+        for _ in range(100):
+            assert laplace_noise_count(5.0, 2.0, rng) >= 0
+
+    def test_mean_near_mu(self):
+        rng = DeterministicRng(b"mean")
+        samples = [laplace_noise_count(50.0, 3.0, rng) for _ in range(300)]
+        assert 45 < sum(samples) / len(samples) < 55
+
+    def test_deterministic(self):
+        a = laplace_noise_count(10.0, 2.0, DeterministicRng(b"s"))
+        b = laplace_noise_count(10.0, 2.0, DeterministicRng(b"s"))
+        assert a == b
+
+
+class TestDialing:
+    def _service(self, **overrides):
+        # message_size must cover 8B recipient id + the sealed box
+        # (group element + AEAD nonce/tag) — 96 bytes is ample for TOY.
+        return DialingService(
+            config=tiny_config(message_size=96, **overrides), num_mailboxes=4
+        )
+
+    def test_dial_end_to_end(self):
+        service = self._service()
+        group = service.group
+        bob = ElGamalKeyPair.generate(group)
+        alice_pub = b"alice-pk"
+        requests = [
+            service.make_request(alice_pub, recipient_id=1, recipient_key=bob)
+        ]
+        # pad round with unrelated calls
+        carol = ElGamalKeyPair.generate(group)
+        for i in range(3):
+            requests.append(
+                service.make_request(b"dave-pk%d" % i, 2, carol)
+            )
+        result = service.run_round(0, requests)
+        assert result.ok
+        received = service.receive(0, 1, bob)
+        assert received == [alice_pub]
+
+    def test_mailbox_separation(self):
+        service = self._service()
+        group = service.group
+        bob = ElGamalKeyPair.generate(group)
+        carol = ElGamalKeyPair.generate(group)
+        requests = [
+            service.make_request(b"to-bob", 1, bob),
+            service.make_request(b"to-carol", 2, carol),
+            service.make_request(b"to-bob-2", 1, bob),
+            service.make_request(b"to-carol-2", 2, carol),
+        ]
+        result = service.run_round(0, requests)
+        assert result.ok
+        assert sorted(service.receive(0, 1, bob)) == [b"to-bob", b"to-bob-2"]
+        assert sorted(service.receive(0, 2, carol)) == [b"to-carol", b"to-carol-2"]
+
+    def test_recipient_cannot_open_others_calls(self):
+        service = self._service()
+        group = service.group
+        bob = ElGamalKeyPair.generate(group)
+        eve = ElGamalKeyPair.generate(group)
+        requests = [service.make_request(b"secret", 1, bob) for _ in range(4)]
+        result = service.run_round(0, requests)
+        assert result.ok
+        assert service.receive(0, 1, eve) == []
+
+    def test_dummy_traffic_hides_call_volume(self):
+        service = DialingService(
+            config=tiny_config(message_size=96),
+            num_mailboxes=2,
+            dummy_mu=2.0,
+            dummy_scale=1.0,
+        )
+        group = service.group
+        bob = ElGamalKeyPair.generate(group)
+        requests = [service.make_request(b"hi-bob", 0, bob)]
+        result = service.run_round(0, requests)
+        assert result.ok
+        # Bob's mailbox download contains dummies beyond the real call...
+        downloaded = service.download(0, 0)
+        assert len(downloaded) >= 1
+        # ...but only the real call opens.
+        assert service.receive(0, 0, bob) == [b"hi-bob"]
+
+    def test_missing_round_raises(self):
+        service = self._service()
+        with pytest.raises(KeyError):
+            service.download(5, 0)

@@ -1,0 +1,107 @@
+"""Tests for §3 dummy-message padding (cover traffic for uneven loads
+and the butterfly topology)."""
+
+import pytest
+
+from repro.core import AtomDeployment, DeploymentConfig
+from repro.core import messages as fmt
+
+
+def config(**overrides):
+    base = dict(
+        num_servers=6,
+        num_groups=2,
+        group_size=2,
+        variant="basic",
+        iterations=3,
+        message_size=24,
+        crypto_group="TOY",
+    )
+    base.update(overrides)
+    return DeploymentConfig(**base)
+
+
+class TestDummyPayloadFormat:
+    def test_build_and_detect(self):
+        payload = fmt.build_dummy_payload(b"n" * 12, 64)
+        assert fmt.is_dummy_payload(payload)
+        assert not fmt.is_trap_payload(payload)
+        assert not fmt.is_inner_payload(payload)
+
+    def test_same_size_as_plain(self):
+        assert len(fmt.build_dummy_payload(b"n" * 12, 64)) == len(
+            fmt.build_plain_payload(b"msg", 64)
+        )
+
+    def test_garbage_is_not_dummy(self):
+        assert not fmt.is_dummy_payload(b"\xff" * 10)
+
+
+class TestPadRoundBasic:
+    def test_uneven_load_padded_and_round_succeeds(self):
+        dep = AtomDeployment(config())
+        rnd = dep.start_round(0)
+        msgs = [f"m{i}".encode() for i in range(3)]  # uneven: 2 vs 1
+        for i, m in enumerate(msgs):
+            dep.submit_plain(rnd, m, entry_gid=i % 2)
+        added = dep.pad_round(rnd)
+        assert added >= 1
+        result = dep.run_round(rnd)
+        assert result.ok
+        # dummies are filtered out: exactly the user messages remain
+        assert sorted(result.messages) == sorted(msgs)
+
+    def test_empty_groups_padded(self):
+        dep = AtomDeployment(config())
+        rnd = dep.start_round(0)
+        dep.submit_plain(rnd, b"lonely", entry_gid=0)
+        dep.pad_round(rnd)
+        result = dep.run_round(rnd)
+        assert result.ok
+        assert result.messages == [b"lonely"]
+
+    def test_counts_divisible_after_padding(self):
+        dep = AtomDeployment(config(num_groups=4, num_servers=10))
+        rnd = dep.start_round(0)
+        for i in range(5):
+            dep.submit_plain(rnd, f"m{i}".encode(), entry_gid=i % 4)
+        dep.pad_round(rnd)
+        beta = rnd.topology.beta
+        counts = {gid: len(v) for gid, v in rnd.holdings.items()}
+        assert len(set(counts.values())) == 1
+        assert next(iter(counts.values())) % beta == 0
+
+    def test_nizk_variant_padding(self):
+        dep = AtomDeployment(config(variant="nizk", nizk_rounds=4, iterations=2))
+        rnd = dep.start_round(0)
+        dep.submit_plain(rnd, b"solo", entry_gid=1)
+        dep.pad_round(rnd)
+        result = dep.run_round(rnd)
+        assert result.ok
+        assert result.messages == [b"solo"]
+
+
+class TestPadRoundTrap:
+    def test_trap_variant_dummies_are_full_pairs(self):
+        dep = AtomDeployment(config(variant="trap"))
+        rnd = dep.start_round(0)
+        msgs = [f"m{i}".encode() for i in range(3)]
+        for i, m in enumerate(msgs):
+            dep.submit_trap(rnd, m, entry_gid=i % 2)
+        before = sum(len(c) for c in rnd.commitments.values())
+        added = dep.pad_round(rnd)
+        after = sum(len(c) for c in rnd.commitments.values())
+        assert added >= 1
+        assert after == before + added  # each dummy registered a trap
+        result = dep.run_round(rnd)
+        assert result.ok
+        assert sorted(result.messages) == sorted(msgs)
+
+    def test_butterfly_with_padding(self):
+        dep = AtomDeployment(config(topology="butterfly", variant="trap"))
+        rnd = dep.start_round(0)
+        dep.submit_trap(rnd, b"real message", entry_gid=0)
+        dep.pad_round(rnd)
+        result = dep.run_round(rnd)
+        assert result.ok
+        assert result.messages == [b"real message"]

@@ -1,0 +1,118 @@
+"""Tests for wire formats: padding, traps, inner ciphertexts."""
+
+import pytest
+
+from repro.core import messages as fmt
+from repro.crypto.groups import get_group
+from repro.crypto.kem import cca2_encrypt
+from repro.crypto.elgamal import AtomElGamal
+
+
+@pytest.fixture(scope="module")
+def group():
+    return get_group("TOY")
+
+
+class TestPadding:
+    def test_roundtrip(self):
+        assert fmt.unpad_payload(fmt.pad_payload(b"hi", 32)) == b"hi"
+
+    def test_empty(self):
+        assert fmt.unpad_payload(fmt.pad_payload(b"", 16)) == b""
+
+    def test_exact_fit(self):
+        msg = b"x" * 12
+        assert fmt.unpad_payload(fmt.pad_payload(msg, 16)) == msg
+
+    def test_too_large_rejected(self):
+        with pytest.raises(fmt.MessageFormatError):
+            fmt.pad_payload(b"x" * 13, 16)
+
+    def test_padded_size_exact(self):
+        assert len(fmt.pad_payload(b"ab", 64)) == 64
+
+    def test_truncated_rejected(self):
+        with pytest.raises(fmt.MessageFormatError):
+            fmt.unpad_payload(b"\x00\x00")
+
+    def test_length_overflow_rejected(self):
+        bad = b"\xff\xff\xff\xff" + b"\x00" * 12
+        with pytest.raises(fmt.MessageFormatError):
+            fmt.unpad_payload(bad)
+
+
+class TestPlainPayload:
+    def test_roundtrip(self):
+        payload = fmt.build_plain_payload(b"tweet", 64)
+        assert fmt.parse_plain_payload(payload) == b"tweet"
+
+    def test_wrong_tag_rejected(self):
+        trap = fmt.build_trap_payload(1, b"n" * 16, 64)
+        with pytest.raises(fmt.MessageFormatError):
+            fmt.parse_plain_payload(trap)
+
+
+class TestTrapPayload:
+    def test_roundtrip(self):
+        payload = fmt.build_trap_payload(7, b"n" * 16, 64)
+        gid, nonce = fmt.parse_trap_payload(payload)
+        assert gid == 7 and nonce == b"n" * 16
+
+    def test_is_trap(self):
+        assert fmt.is_trap_payload(fmt.build_trap_payload(0, b"0" * 16, 64))
+        assert not fmt.is_trap_payload(fmt.build_plain_payload(b"x", 64))
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(fmt.MessageFormatError):
+            fmt.build_trap_payload(0, b"short", 64)
+
+    def test_traps_same_size_as_plain(self):
+        """Indistinguishability requires equal sizes."""
+        assert len(fmt.build_trap_payload(3, b"n" * 16, 80)) == len(
+            fmt.build_plain_payload(b"msg", 80)
+        )
+
+
+class TestInnerPayload:
+    def test_roundtrip(self, group):
+        scheme = AtomElGamal(group)
+        kp = scheme.keygen()
+        inner = cca2_encrypt(group, kp.public, b"hello inner")
+        size = fmt.inner_payload_size(group, 32)
+        payload = fmt.build_inner_payload(group, inner, size)
+        parsed = fmt.parse_inner_payload(group, payload)
+        assert parsed == inner
+
+    def test_is_inner(self, group):
+        scheme = AtomElGamal(group)
+        kp = scheme.keygen()
+        inner = cca2_encrypt(group, kp.public, b"x")
+        size = fmt.inner_payload_size(group, 32)
+        assert fmt.is_inner_payload(fmt.build_inner_payload(group, inner, size))
+        assert not fmt.is_inner_payload(fmt.build_trap_payload(0, b"0" * 16, size))
+
+    def test_garbage_not_inner_or_trap(self):
+        garbage = b"\x00\x00\x00\x04junk" + b"\x00" * 24
+        assert not fmt.is_inner_payload(garbage[4:])  # malformed framing
+        assert not fmt.is_trap_payload(b"\xff" * 32)
+
+    def test_deserialize_cca2_too_short(self, group):
+        with pytest.raises(fmt.MessageFormatError):
+            fmt.deserialize_cca2(group, b"\x01" * 4)
+
+
+class TestPayloadSpec:
+    def test_trap_spec_fits_inner(self, group):
+        spec = fmt.PayloadSpec.for_deployment(group, 32, trap_variant=True)
+        assert spec.payload_size >= fmt.inner_payload_size(group, 32)
+        assert spec.elements_per_message == group.elements_for_size(spec.payload_size)
+
+    def test_plain_spec_smaller(self, group):
+        trap = fmt.PayloadSpec.for_deployment(group, 32, trap_variant=True)
+        plain = fmt.PayloadSpec.for_deployment(group, 32, trap_variant=False)
+        assert plain.payload_size < trap.payload_size
+
+    def test_message_size_scales_payload(self, group):
+        small = fmt.PayloadSpec.for_deployment(group, 16, trap_variant=True)
+        large = fmt.PayloadSpec.for_deployment(group, 160, trap_variant=True)
+        assert large.payload_size > small.payload_size

@@ -1,0 +1,162 @@
+"""Tests for the AEAD and the IND-CCA2 hybrid KEM."""
+
+import pytest
+
+from repro.crypto.aead import (
+    AeadCiphertext,
+    AuthenticationError,
+    aead_decrypt,
+    aead_encrypt,
+)
+from repro.crypto.elgamal import AtomElGamal
+from repro.crypto.kem import Cca2Ciphertext, cca2_decrypt, cca2_encrypt
+
+KEY = bytes(range(32))
+
+
+class TestAead:
+    @pytest.mark.parametrize("plaintext", [b"", b"a", b"hello world", b"\x00" * 100])
+    def test_roundtrip(self, plaintext):
+        ct = aead_encrypt(KEY, plaintext)
+        assert aead_decrypt(KEY, ct) == plaintext
+
+    def test_wrong_key_fails(self):
+        ct = aead_encrypt(KEY, b"secret")
+        with pytest.raises(AuthenticationError):
+            aead_decrypt(bytes(32), ct)
+
+    def test_flipped_body_bit_detected(self):
+        ct = aead_encrypt(KEY, b"integrity matters")
+        tampered = AeadCiphertext(ct.nonce, bytes([ct.body[0] ^ 1]) + ct.body[1:], ct.tag)
+        with pytest.raises(AuthenticationError):
+            aead_decrypt(KEY, tampered)
+
+    def test_flipped_tag_bit_detected(self):
+        ct = aead_encrypt(KEY, b"integrity")
+        tampered = AeadCiphertext(ct.nonce, ct.body, bytes([ct.tag[0] ^ 1]) + ct.tag[1:])
+        with pytest.raises(AuthenticationError):
+            aead_decrypt(KEY, tampered)
+
+    def test_nonce_swap_detected(self):
+        ct1 = aead_encrypt(KEY, b"one")
+        ct2 = aead_encrypt(KEY, b"two")
+        spliced = AeadCiphertext(ct2.nonce, ct1.body, ct1.tag)
+        with pytest.raises(AuthenticationError):
+            aead_decrypt(KEY, spliced)
+
+    def test_distinct_nonces_give_distinct_bodies(self):
+        a = aead_encrypt(KEY, b"same msg")
+        b = aead_encrypt(KEY, b"same msg")
+        assert a.body != b.body or a.nonce != b.nonce
+
+    def test_serialization_roundtrip(self):
+        ct = aead_encrypt(KEY, b"wire format")
+        assert AeadCiphertext.from_bytes(ct.to_bytes()) == ct
+
+    def test_short_wire_rejected(self):
+        with pytest.raises(ValueError):
+            AeadCiphertext.from_bytes(b"short")
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            aead_encrypt(b"short", b"x")
+
+
+class TestCca2Kem:
+    def test_roundtrip(self, test_group):
+        scheme = AtomElGamal(test_group)
+        kp = scheme.keygen()
+        msg = b"inner ciphertext payload" * 4
+        ct = cca2_encrypt(test_group, kp.public, msg)
+        assert cca2_decrypt(test_group, kp.secret, ct) == msg
+
+    def test_wrong_secret_fails(self, test_group):
+        scheme = AtomElGamal(test_group)
+        kp, other = scheme.keygen(), scheme.keygen()
+        ct = cca2_encrypt(test_group, kp.public, b"msg")
+        with pytest.raises(AuthenticationError):
+            cca2_decrypt(test_group, other.secret, ct)
+
+    def test_mauled_body_detected(self, test_group):
+        """Non-malleability: this is what stops servers tampering with
+        inner ciphertexts in the trap variant (§4.4)."""
+        scheme = AtomElGamal(test_group)
+        kp = scheme.keygen()
+        ct = cca2_encrypt(test_group, kp.public, b"msg")
+        body = ct.body
+        from repro.crypto.aead import AeadCiphertext
+
+        mauled = Cca2Ciphertext(
+            ct.R,
+            AeadCiphertext(body.nonce, bytes([body.body[0] ^ 1]) + body.body[1:], body.tag),
+        )
+        with pytest.raises(AuthenticationError):
+            cca2_decrypt(test_group, kp.secret, mauled)
+
+    def test_swapped_encapsulation_detected(self, test_group):
+        scheme = AtomElGamal(test_group)
+        kp = scheme.keygen()
+        ct1 = cca2_encrypt(test_group, kp.public, b"one")
+        ct2 = cca2_encrypt(test_group, kp.public, b"two")
+        spliced = Cca2Ciphertext(ct2.R, ct1.body)
+        with pytest.raises(AuthenticationError):
+            cca2_decrypt(test_group, kp.secret, spliced)
+
+    def test_deterministic_with_rng(self, test_group):
+        from repro.crypto.groups import DeterministicRng
+
+        scheme = AtomElGamal(test_group)
+        kp = scheme.keygen()
+        a = cca2_encrypt(test_group, kp.public, b"m", DeterministicRng(b"s"))
+        b = cca2_encrypt(test_group, kp.public, b"m", DeterministicRng(b"s"))
+        assert a == b
+
+    def test_size_bytes(self, test_group):
+        scheme = AtomElGamal(test_group)
+        kp = scheme.keygen()
+        ct = cca2_encrypt(test_group, kp.public, b"0123456789")
+        assert ct.size_bytes == len(ct.to_bytes())
+
+
+class TestCommitments:
+    def test_commit_verify(self):
+        from repro.crypto.commit import commit, verify_commitment
+
+        payload = b"trap|gid=3|nonce=abcdef"
+        c = commit(payload)
+        assert verify_commitment(c, payload)
+        assert not verify_commitment(c, payload + b"!")
+
+    def test_distinct_payloads_distinct_commitments(self):
+        from repro.crypto.commit import commit
+
+        assert commit(b"a") != commit(b"b")
+
+
+class TestBeacon:
+    def test_reproducible_groups(self):
+        from repro.crypto.beacon import RandomnessBeacon
+
+        beacon = RandomnessBeacon(b"seed")
+        a = beacon.sample_groups(1, num_servers=20, num_groups=5, group_size=4)
+        b = beacon.sample_groups(1, num_servers=20, num_groups=5, group_size=4)
+        assert a == b
+
+    def test_rounds_differ(self):
+        from repro.crypto.beacon import RandomnessBeacon
+
+        beacon = RandomnessBeacon(b"seed")
+        assert beacon.sample_groups(1, 20, 5, 4) != beacon.sample_groups(2, 20, 5, 4)
+
+    def test_groups_have_distinct_members(self):
+        from repro.crypto.beacon import RandomnessBeacon
+
+        groups = RandomnessBeacon().sample_groups(0, 50, 10, 8)
+        for group in groups:
+            assert len(set(group)) == len(group) == 8
+
+    def test_group_size_bound(self):
+        from repro.crypto.beacon import RandomnessBeacon
+
+        with pytest.raises(ValueError):
+            RandomnessBeacon().sample_groups(0, 3, 1, 4)

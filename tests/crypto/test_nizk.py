@@ -1,0 +1,182 @@
+"""Tests for EncProof / ReEncProof NIZKs and the sigma framework."""
+
+import pytest
+
+from repro.crypto import sigma
+from repro.crypto.elgamal import AtomElGamal
+from repro.crypto.nizk import (
+    ReEncryptor,
+    prove_encryption,
+    prove_reencryption,
+    verify_encryption,
+    verify_reencryption,
+)
+
+
+@pytest.fixture()
+def scheme(toy_group):
+    return AtomElGamal(toy_group)
+
+
+class TestSigmaFramework:
+    def test_single_schnorr(self, toy_group):
+        x = toy_group.random_scalar()
+        X = toy_group.g ** x
+        rows = [(X, [toy_group.g])]
+        proof = sigma.prove(toy_group, rows, [x])
+        assert sigma.verify(toy_group, rows, proof)
+
+    def test_wrong_witness_fails(self, toy_group):
+        x = toy_group.random_scalar()
+        X = toy_group.g ** (x + 1)
+        rows = [(X, [toy_group.g])]
+        proof = sigma.prove(toy_group, rows, [x])
+        assert not sigma.verify(toy_group, rows, proof)
+
+    def test_context_binding(self, toy_group):
+        x = toy_group.random_scalar()
+        rows = [(toy_group.g ** x, [toy_group.g])]
+        proof = sigma.prove(toy_group, rows, [x], b"ctx-a")
+        assert sigma.verify(toy_group, rows, proof, b"ctx-a")
+        assert not sigma.verify(toy_group, rows, proof, b"ctx-b")
+
+    def test_and_composition(self, toy_group):
+        g = toy_group.g
+        h = toy_group.random_element()
+        x, y = toy_group.random_scalar(), toy_group.random_scalar()
+        rows = [
+            ((g ** x), [g, toy_group.identity]),
+            ((h ** y), [toy_group.identity, h]),
+            ((g ** x) * (h ** y), [g, h]),
+        ]
+        proof = sigma.prove(toy_group, rows, [x, y])
+        assert sigma.verify(toy_group, rows, proof)
+
+    def test_arity_mismatch_raises(self, toy_group):
+        rows = [(toy_group.g, [toy_group.g, toy_group.g])]
+        with pytest.raises(ValueError):
+            sigma.prove(toy_group, rows, [1])
+
+    def test_tampered_response_fails(self, toy_group):
+        x = toy_group.random_scalar()
+        rows = [(toy_group.g ** x, [toy_group.g])]
+        proof = sigma.prove(toy_group, rows, [x])
+        bad = sigma.SigmaProof(
+            proof.commitments, proof.challenge, (proof.responses[0] + 1,)
+        )
+        assert not sigma.verify(toy_group, rows, bad)
+
+    def test_statement_swap_fails(self, toy_group):
+        x = toy_group.random_scalar()
+        rows = [(toy_group.g ** x, [toy_group.g])]
+        other = [(toy_group.g ** (x + 1), [toy_group.g])]
+        proof = sigma.prove(toy_group, rows, [x])
+        assert not sigma.verify(toy_group, other, proof)
+
+
+class TestEncProof:
+    def test_honest_proof_verifies(self, scheme, toy_group):
+        kp = scheme.keygen()
+        ct, r = scheme.encrypt(kp.public, toy_group.encode(b"m"))
+        proof = prove_encryption(toy_group, ct, r, kp.public, gid=3)
+        assert verify_encryption(toy_group, ct, proof, kp.public, gid=3)
+
+    def test_gid_binding_blocks_cross_group_replay(self, scheme, toy_group):
+        """Paper §3: resubmitting (c, pi) to a different entry group fails."""
+        kp = scheme.keygen()
+        ct, r = scheme.encrypt(kp.public, toy_group.encode(b"m"))
+        proof = prove_encryption(toy_group, ct, r, kp.public, gid=3)
+        assert not verify_encryption(toy_group, ct, proof, kp.public, gid=4)
+
+    def test_rerandomized_copy_has_no_proof(self, scheme, toy_group):
+        """Paper §3: a rerandomized copy of an honest ciphertext cannot
+        reuse the original proof (the statement changed)."""
+        kp = scheme.keygen()
+        ct, r = scheme.encrypt(kp.public, toy_group.encode(b"m"))
+        proof = prove_encryption(toy_group, ct, r, kp.public, gid=1)
+        copy = scheme.rerandomize(kp.public, ct)
+        assert not verify_encryption(toy_group, copy, proof, kp.public, gid=1)
+
+    def test_mid_pipeline_ciphertext_rejected(self, scheme, toy_group):
+        kp, kp2 = scheme.keygen(), scheme.keygen()
+        ct, r = scheme.encrypt(kp.public, toy_group.encode(b"m"))
+        proof = prove_encryption(toy_group, ct, r, kp.public, gid=1)
+        mid = scheme.reencrypt(kp.secret, kp2.public, ct)
+        assert not verify_encryption(toy_group, mid, proof, kp.public, gid=1)
+
+    def test_wrong_randomness_fails(self, scheme, toy_group):
+        kp = scheme.keygen()
+        ct, r = scheme.encrypt(kp.public, toy_group.encode(b"m"))
+        proof = prove_encryption(toy_group, ct, r + 1, kp.public, gid=1)
+        assert not verify_encryption(toy_group, ct, proof, kp.public, gid=1)
+
+    def test_size_bytes(self, scheme, toy_group):
+        kp = scheme.keygen()
+        ct, r = scheme.encrypt(kp.public, toy_group.encode(b"m"))
+        proof = prove_encryption(toy_group, ct, r, kp.public, gid=1)
+        assert proof.size_bytes > 0
+
+
+class TestReEncProof:
+    def test_middle_layer(self, scheme, toy_group):
+        kp, nxt = scheme.keygen(), scheme.keygen()
+        ct, _ = scheme.encrypt(kp.public, toy_group.encode(b"m"))
+        r = toy_group.random_scalar()
+        out = scheme.reencrypt(kp.secret, nxt.public, ct, randomness=r)
+        proof = prove_reencryption(toy_group, kp.secret, r, nxt.public, ct, out)
+        assert verify_reencryption(toy_group, kp.public, nxt.public, ct, out, proof)
+
+    def test_final_layer(self, scheme, toy_group):
+        kp = scheme.keygen()
+        ct, _ = scheme.encrypt(kp.public, toy_group.encode(b"m"))
+        out = scheme.reencrypt(kp.secret, None, ct)
+        proof = prove_reencryption(toy_group, kp.secret, None, None, ct, out)
+        assert proof.final_layer
+        assert verify_reencryption(toy_group, kp.public, None, ct, out, proof)
+
+    def test_nonbot_y_input(self, scheme, toy_group):
+        """ReEnc applied mid-pipeline (Y != ⊥) must also be provable."""
+        kps = [scheme.keygen() for _ in range(2)]
+        group_key = scheme.combine_public_keys([k.public for k in kps])
+        nxt = scheme.keygen()
+        ct, _ = scheme.encrypt(group_key, toy_group.encode(b"m"))
+        mid = scheme.reencrypt(kps[0].secret, nxt.public, ct)
+        r = toy_group.random_scalar()
+        out = scheme.reencrypt(kps[1].secret, nxt.public, mid, randomness=r)
+        proof = prove_reencryption(toy_group, kps[1].secret, r, nxt.public, mid, out)
+        assert verify_reencryption(toy_group, kps[1].public, nxt.public, mid, out, proof)
+
+    def test_wrong_server_key_fails(self, scheme, toy_group):
+        kp, other, nxt = scheme.keygen(), scheme.keygen(), scheme.keygen()
+        ct, _ = scheme.encrypt(kp.public, toy_group.encode(b"m"))
+        r = toy_group.random_scalar()
+        out = scheme.reencrypt(kp.secret, nxt.public, ct, randomness=r)
+        proof = prove_reencryption(toy_group, kp.secret, r, nxt.public, ct, out)
+        assert not verify_reencryption(toy_group, other.public, nxt.public, ct, out, proof)
+
+    def test_tampered_output_fails(self, scheme, toy_group):
+        """A server that swaps the message for another cannot prove it."""
+        kp, nxt = scheme.keygen(), scheme.keygen()
+        ct, _ = scheme.encrypt(kp.public, toy_group.encode(b"m"))
+        r = toy_group.random_scalar()
+        out = scheme.reencrypt(kp.secret, nxt.public, ct, randomness=r)
+        forged, _ = scheme.encrypt(nxt.public, toy_group.encode(b"EVIL"))
+        proof = prove_reencryption(toy_group, kp.secret, r, nxt.public, ct, out)
+        # Substituting a different output ciphertext invalidates the proof.
+        from repro.crypto.elgamal import AtomCiphertext
+
+        substituted = AtomCiphertext(forged.R, forged.c, out.Y)
+        assert not verify_reencryption(
+            toy_group, kp.public, nxt.public, ct, substituted, proof
+        )
+
+    def test_reencryptor_batch(self, scheme, toy_group):
+        kp, nxt = scheme.keygen(), scheme.keygen()
+        cts = [scheme.encrypt(kp.public, toy_group.encode(bytes([i])))[0] for i in range(4)]
+        worker = ReEncryptor(toy_group)
+        outs, proofs = worker.reencrypt_and_prove(kp.secret, nxt.public, cts)
+        assert worker.verify_batch(kp.public, nxt.public, cts, outs, proofs)
+        # Tamper with one output
+        outs2 = list(outs)
+        outs2[0], outs2[1] = outs2[1], outs2[0]
+        assert not worker.verify_batch(kp.public, nxt.public, cts, outs2, proofs)

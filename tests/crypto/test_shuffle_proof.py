@@ -1,0 +1,135 @@
+"""Tests for the cut-and-choose verifiable shuffle (ShufProof)."""
+
+import pytest
+
+from repro.crypto.elgamal import AtomElGamal
+from repro.crypto.shuffle_proof import prove_shuffle, verify_shuffle
+
+ROUNDS = 10
+
+
+@pytest.fixture()
+def setup(toy_group):
+    scheme = AtomElGamal(toy_group)
+    kp = scheme.keygen()
+    cts = [
+        scheme.encrypt(kp.public, toy_group.encode(bytes([i])))[0] for i in range(6)
+    ]
+    return scheme, kp, cts
+
+
+def make_proof(toy_group, scheme, kp, cts, rounds=ROUNDS):
+    shuffled, perm, rands = scheme.shuffle(kp.public, cts)
+    proof = prove_shuffle(toy_group, kp.public, cts, shuffled, perm, rands, rounds)
+    return shuffled, proof
+
+
+class TestCompleteness:
+    def test_honest_shuffle_verifies(self, toy_group, setup):
+        scheme, kp, cts = setup
+        shuffled, proof = make_proof(toy_group, scheme, kp, cts)
+        assert verify_shuffle(toy_group, kp.public, cts, shuffled, proof, ROUNDS)
+
+    def test_identity_permutation_verifies(self, toy_group, setup):
+        scheme, kp, cts = setup
+        n = len(cts)
+        perm = list(range(n))
+        rands = [toy_group.random_scalar() for _ in range(n)]
+        shuffled = [
+            scheme.rerandomize(kp.public, cts[i], randomness=rands[i]) for i in range(n)
+        ]
+        proof = prove_shuffle(toy_group, kp.public, cts, shuffled, perm, rands, ROUNDS)
+        assert verify_shuffle(toy_group, kp.public, cts, shuffled, proof, ROUNDS)
+
+    def test_single_element(self, toy_group):
+        scheme = AtomElGamal(toy_group)
+        kp = scheme.keygen()
+        cts = [scheme.encrypt(kp.public, toy_group.encode(b"1"))[0]]
+        shuffled, proof = make_proof(toy_group, scheme, kp, cts)
+        assert verify_shuffle(toy_group, kp.public, cts, shuffled, proof, ROUNDS)
+
+
+class TestSoundness:
+    def test_swapped_outputs_fail(self, toy_group, setup):
+        scheme, kp, cts = setup
+        shuffled, proof = make_proof(toy_group, scheme, kp, cts)
+        bad = list(shuffled)
+        bad[0], bad[1] = bad[1], bad[0]
+        assert not verify_shuffle(toy_group, kp.public, cts, bad, proof, ROUNDS)
+
+    def test_replaced_message_fails(self, toy_group, setup):
+        """A malicious mixer substituting a ciphertext is caught."""
+        scheme, kp, cts = setup
+        shuffled, proof = make_proof(toy_group, scheme, kp, cts)
+        bad = list(shuffled)
+        bad[2], _ = scheme.encrypt(kp.public, toy_group.encode(b"EVIL"))
+        assert not verify_shuffle(toy_group, kp.public, cts, bad, proof, ROUNDS)
+
+    def test_dropped_message_fails(self, toy_group, setup):
+        scheme, kp, cts = setup
+        shuffled, proof = make_proof(toy_group, scheme, kp, cts)
+        assert not verify_shuffle(
+            toy_group, kp.public, cts, shuffled[:-1], proof, ROUNDS
+        )
+
+    def test_duplicated_message_fails(self, toy_group, setup):
+        scheme, kp, cts = setup
+        shuffled, proof = make_proof(toy_group, scheme, kp, cts)
+        bad = list(shuffled)
+        bad[3] = bad[2]
+        assert not verify_shuffle(toy_group, kp.public, cts, bad, proof, ROUNDS)
+
+    def test_forged_proof_wrong_inputs(self, toy_group, setup):
+        """A valid proof for one input set does not transfer to another."""
+        scheme, kp, cts = setup
+        shuffled, proof = make_proof(toy_group, scheme, kp, cts)
+        other = [
+            scheme.encrypt(kp.public, toy_group.encode(bytes([99 - i])))[0]
+            for i in range(len(cts))
+        ]
+        assert not verify_shuffle(toy_group, kp.public, other, shuffled, proof, ROUNDS)
+
+    def test_wrong_round_count_rejected(self, toy_group, setup):
+        scheme, kp, cts = setup
+        shuffled, proof = make_proof(toy_group, scheme, kp, cts)
+        assert not verify_shuffle(
+            toy_group, kp.public, cts, shuffled, proof, ROUNDS + 1
+        )
+
+    def test_invalid_permutation_in_round_rejected(self, toy_group, setup):
+        from repro.crypto.shuffle_proof import ShuffleProof, ShuffleRound
+
+        scheme, kp, cts = setup
+        shuffled, proof = make_proof(toy_group, scheme, kp, cts)
+        first = proof.rounds[0]
+        broken = ShuffleRound(
+            intermediate=first.intermediate,
+            opened_perm=(0,) * len(first.opened_perm),  # not a permutation
+            opened_rands=first.opened_rands,
+        )
+        bad = ShuffleProof(
+            rounds=(broken,) + proof.rounds[1:], challenge_bits=proof.challenge_bits
+        )
+        assert not verify_shuffle(toy_group, kp.public, cts, shuffled, bad, ROUNDS)
+
+
+class TestZeroKnowledgeShape:
+    def test_proof_does_not_reveal_permutation_directly(self, toy_group, setup):
+        """Structural check: opened permutations differ across rounds and
+        from the witness permutation (they are blinded compositions)."""
+        scheme, kp, cts = setup
+        shuffled, perm, rands = scheme.shuffle(kp.public, cts)
+        proof = prove_shuffle(
+            toy_group, kp.public, cts, shuffled, perm, rands, rounds=16
+        )
+        opened = {r.opened_perm for r in proof.rounds}
+        # With 16 rounds over 6! permutations, openings should not all
+        # equal the witness (probability astronomically small).
+        assert any(list(o) != list(perm) for o in opened)
+
+    def test_size_bytes_scales_with_rounds(self, toy_group, setup):
+        scheme, kp, cts = setup
+        shuffled, perm, rands = scheme.shuffle(kp.public, cts)
+        small = prove_shuffle(toy_group, kp.public, cts, shuffled, perm, rands, 4)
+        large = prove_shuffle(toy_group, kp.public, cts, shuffled, perm, rands, 8)
+        assert large.size_bytes > small.size_bytes

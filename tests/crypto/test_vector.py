@@ -1,0 +1,133 @@
+"""Tests for vector ciphertexts and the vector shuffle proof."""
+
+import pytest
+
+from repro.crypto.elgamal import AtomElGamal
+from repro.crypto.vector import (
+    CiphertextVector,
+    decrypt_vector,
+    encrypt_vector,
+    plaintext_of,
+    prove_vector_shuffle,
+    rerandomize_vector,
+    reencrypt_vector,
+    shuffle_vectors,
+    verify_vector_shuffle,
+)
+
+ROUNDS = 6
+
+
+@pytest.fixture()
+def setup(toy_group):
+    scheme = AtomElGamal(toy_group)
+    kp = scheme.keygen()
+    messages = [bytes([i]) * 12 for i in range(4)]
+    vectors = [encrypt_vector(scheme, kp.public, m)[0] for m in messages]
+    return scheme, kp, messages, vectors
+
+
+class TestVectorOps:
+    def test_multi_part_roundtrip(self, toy_group, setup):
+        scheme, kp, messages, vectors = setup
+        assert len(vectors[0]) > 1  # 12 bytes exceeds TOY capacity
+        for m, v in zip(messages, vectors):
+            assert decrypt_vector(scheme, kp.secret, v) == m
+
+    def test_reencrypt_vector_pipeline(self, toy_group, setup):
+        scheme, kp, messages, vectors = setup
+        nxt = scheme.keygen()
+        out = reencrypt_vector(scheme, kp.secret, nxt.public, vectors[0])
+        out = out.with_y_bot()
+        assert decrypt_vector(scheme, nxt.secret, out) == messages[0]
+
+    def test_plaintext_of_after_final_layer(self, toy_group, setup):
+        scheme, kp, messages, vectors = setup
+        final = reencrypt_vector(scheme, kp.secret, None, vectors[0])
+        assert plaintext_of(scheme, final) == messages[0]
+
+    def test_rerandomize_arity_check(self, toy_group, setup):
+        scheme, kp, messages, vectors = setup
+        with pytest.raises(ValueError):
+            rerandomize_vector(scheme, kp.public, vectors[0], randomness=[1])
+
+    def test_shuffle_witness_consistency(self, toy_group, setup, rng):
+        scheme, kp, messages, vectors = setup
+        shuffled, perm, rands = shuffle_vectors(scheme, kp.public, vectors, rng)
+        for i in range(len(vectors)):
+            expect = rerandomize_vector(
+                scheme, kp.public, vectors[perm[i]], randomness=rands[i]
+            )
+            assert expect == shuffled[i]
+
+    def test_size_bytes(self, setup):
+        scheme, kp, messages, vectors = setup
+        assert vectors[0].size_bytes == len(vectors[0].to_bytes())
+
+
+class TestVectorShuffleProof:
+    def test_honest_proof_verifies(self, toy_group, setup):
+        scheme, kp, messages, vectors = setup
+        shuffled, perm, rands = shuffle_vectors(scheme, kp.public, vectors)
+        proof = prove_vector_shuffle(
+            scheme, kp.public, vectors, shuffled, perm, rands, ROUNDS
+        )
+        assert verify_vector_shuffle(
+            scheme, kp.public, vectors, shuffled, proof, ROUNDS
+        )
+
+    def test_swapped_vectors_fail(self, toy_group, setup):
+        scheme, kp, messages, vectors = setup
+        shuffled, perm, rands = shuffle_vectors(scheme, kp.public, vectors)
+        proof = prove_vector_shuffle(
+            scheme, kp.public, vectors, shuffled, perm, rands, ROUNDS
+        )
+        bad = list(shuffled)
+        bad[0], bad[1] = bad[1], bad[0]
+        assert not verify_vector_shuffle(scheme, kp.public, vectors, bad, proof, ROUNDS)
+
+    def test_cross_vector_part_swap_fails(self, toy_group, setup):
+        """Permuting parts *across* messages is cheating and is caught —
+        the vector is the unit of permutation."""
+        scheme, kp, messages, vectors = setup
+        shuffled, perm, rands = shuffle_vectors(scheme, kp.public, vectors)
+        proof = prove_vector_shuffle(
+            scheme, kp.public, vectors, shuffled, perm, rands, ROUNDS
+        )
+        a_parts = list(shuffled[0].parts)
+        b_parts = list(shuffled[1].parts)
+        a_parts[0], b_parts[0] = b_parts[0], a_parts[0]
+        bad = list(shuffled)
+        bad[0] = CiphertextVector(tuple(a_parts))
+        bad[1] = CiphertextVector(tuple(b_parts))
+        assert not verify_vector_shuffle(scheme, kp.public, vectors, bad, proof, ROUNDS)
+
+    def test_replaced_part_fails(self, toy_group, setup):
+        scheme, kp, messages, vectors = setup
+        shuffled, perm, rands = shuffle_vectors(scheme, kp.public, vectors)
+        proof = prove_vector_shuffle(
+            scheme, kp.public, vectors, shuffled, perm, rands, ROUNDS
+        )
+        parts = list(shuffled[2].parts)
+        parts[0], _ = scheme.encrypt(kp.public, toy_group.encode(b"EVIL"))
+        bad = list(shuffled)
+        bad[2] = CiphertextVector(tuple(parts))
+        assert not verify_vector_shuffle(scheme, kp.public, vectors, bad, proof, ROUNDS)
+
+    def test_witness_size_mismatch_raises(self, toy_group, setup):
+        scheme, kp, messages, vectors = setup
+        shuffled, perm, rands = shuffle_vectors(scheme, kp.public, vectors)
+        with pytest.raises(ValueError):
+            prove_vector_shuffle(
+                scheme, kp.public, vectors, shuffled, perm[:-1], rands, ROUNDS
+            )
+
+    def test_wrong_round_count_fails(self, toy_group, setup):
+        scheme, kp, messages, vectors = setup
+        shuffled, perm, rands = shuffle_vectors(scheme, kp.public, vectors)
+        proof = prove_vector_shuffle(
+            scheme, kp.public, vectors, shuffled, perm, rands, ROUNDS
+        )
+        assert not verify_vector_shuffle(
+            scheme, kp.public, vectors, shuffled, proof, ROUNDS + 2
+        )

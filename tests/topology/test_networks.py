@@ -1,0 +1,163 @@
+"""Tests for the permutation-network topologies (paper §3)."""
+
+import pytest
+
+from repro.topology import IteratedButterflyNetwork, SquareNetwork, route_batches
+from repro.topology.base import PermutationNetwork
+
+
+class TestSquareNetwork:
+    def test_beta_equals_width(self):
+        net = SquareNetwork(width=4, depth=5)
+        assert net.beta == net.width == 4
+
+    def test_successors_all_nodes(self):
+        net = SquareNetwork(width=3, depth=4)
+        assert net.successors(0, 0) == [0, 1, 2]
+        assert net.successors(2, 2) == [0, 1, 2]
+
+    def test_last_layer_has_no_successors(self):
+        net = SquareNetwork(width=3, depth=4)
+        with pytest.raises(IndexError):
+            net.successors(3, 0)
+
+    def test_node_out_of_range(self):
+        net = SquareNetwork(width=3, depth=4)
+        with pytest.raises(IndexError):
+            net.successors(0, 3)
+
+    def test_validate(self):
+        SquareNetwork(width=4, depth=6).validate()
+
+    def test_for_messages_sqrt_sizing(self):
+        net = SquareNetwork.for_messages(64)
+        assert net.width == 8
+
+    def test_default_depth_is_paper_iterations(self):
+        from repro.topology.square import PAPER_ITERATIONS
+
+        assert SquareNetwork(width=4).depth == PAPER_ITERATIONS == 10
+
+    def test_predecessors(self):
+        net = SquareNetwork(width=3, depth=4)
+        assert net.predecessors(1, 0) == [0, 1, 2]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SquareNetwork(width=0)
+        with pytest.raises(ValueError):
+            SquareNetwork(width=2, depth=0)
+
+
+class TestButterfly:
+    def test_width_power_of_two(self):
+        net = IteratedButterflyNetwork(log_width=3)
+        assert net.width == 8
+
+    def test_beta_two(self):
+        assert IteratedButterflyNetwork(log_width=2).beta == 2
+
+    def test_successors_are_self_and_partner(self):
+        net = IteratedButterflyNetwork(log_width=3)
+        assert set(net.successors(0, 0)) == {0, 1}  # stage 0: flip bit 0
+        assert set(net.successors(1, 0)) == {0, 2}  # stage 1: flip bit 1
+        assert set(net.successors(2, 0)) == {0, 4}  # stage 2: flip bit 2
+
+    def test_stage_cycles(self):
+        net = IteratedButterflyNetwork(log_width=2, repetitions=3)
+        stages = [net.stage_of_layer(t) for t in range(6)]
+        assert stages == [0, 1, 0, 1, 0, 1]
+
+    def test_depth_is_log_squared(self):
+        net = IteratedButterflyNetwork(log_width=4)  # default reps = log_width
+        assert net.depth == 4 * 4 + 1
+
+    def test_validate(self):
+        IteratedButterflyNetwork(log_width=3).validate()
+
+    def test_for_messages(self):
+        net = IteratedButterflyNetwork.for_messages(100)
+        assert net.width >= 100
+
+    def test_invalid_log_width(self):
+        with pytest.raises(ValueError):
+            IteratedButterflyNetwork(log_width=0)
+
+
+class TestRouting:
+    def test_route_batches_even(self):
+        batches = route_batches(list(range(12)), beta=3)
+        assert len(batches) == 3
+        assert all(len(b) == 4 for b in batches)
+        assert sorted(sum(batches, [])) == list(range(12))
+
+    def test_route_batches_uneven_rejected(self):
+        with pytest.raises(ValueError):
+            route_batches(list(range(10)), beta=3)
+
+    def test_node_load(self):
+        net = SquareNetwork(width=4, depth=3)
+        assert net.node_load(16) == 4
+        with pytest.raises(ValueError):
+            net.node_load(10)
+
+    def test_padded_message_count(self):
+        net = SquareNetwork(width=4, depth=3)
+        assert net.padded_message_count(1) == 16
+        assert net.padded_message_count(16) == 16
+        assert net.padded_message_count(17) == 32
+
+
+class TestMixingQuality:
+    """Empirical: the square network actually mixes (paper §3 claim)."""
+
+    def _simulate_positions(self, net, per_node, iterations, seed):
+        """Track where each message lands after shuffle-split-forward."""
+        from repro.crypto.groups import DeterministicRng
+
+        rng = DeterministicRng(seed)
+        holdings = {
+            node: [(node, i) for i in range(per_node)] for node in range(net.width)
+        }
+        for layer in range(iterations):
+            incoming = {node: [] for node in range(net.width)}
+            for node in range(net.width):
+                items = holdings[node]
+                rng.shuffle(items)
+                succ = net.successors(layer, node)
+                per = len(items) // len(succ)
+                for b, target in enumerate(succ):
+                    incoming[target].extend(items[b * per: (b + 1) * per])
+            holdings = incoming
+        return holdings
+
+    def test_square_disperses_messages(self):
+        """After a few iterations, messages from one source node spread
+        over all destination nodes."""
+        net = SquareNetwork(width=4, depth=6)
+        holdings = self._simulate_positions(net, per_node=16, iterations=5, seed=b"mix")
+        source_zero_positions = {
+            node
+            for node, items in holdings.items()
+            for (src, _) in items
+            if src == 0
+        }
+        assert len(source_zero_positions) == net.width
+
+    def test_square_output_counts_preserved(self):
+        net = SquareNetwork(width=4, depth=6)
+        holdings = self._simulate_positions(net, per_node=8, iterations=5, seed=b"c")
+        total = sum(len(items) for items in holdings.values())
+        assert total == 32
+        assert all(len(items) == 8 for items in holdings.values())
+
+    def test_butterfly_disperses_messages(self):
+        net = IteratedButterflyNetwork(log_width=3)
+        holdings = self._simulate_positions(
+            net, per_node=16, iterations=net.depth - 1, seed=b"bf"
+        )
+        source_zero_positions = {
+            node for node, items in holdings.items() for (src, _) in items if src == 0
+        }
+        # 16 messages into 8 bins: expected distinct bins ~7.1; require 5+
+        assert len(source_zero_positions) >= 5

@@ -1,0 +1,80 @@
+"""Property-based tests on topology invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import IteratedButterflyNetwork, SquareNetwork, route_batches
+
+settings_fast = settings(max_examples=30, deadline=None)
+
+
+class TestSquareProperties:
+    @given(st.integers(1, 12), st.integers(1, 12))
+    @settings_fast
+    def test_always_validates(self, width, depth):
+        SquareNetwork(width=width, depth=depth).validate()
+
+    @given(st.integers(1, 12), st.integers(2, 8), st.data())
+    @settings_fast
+    def test_edge_symmetry(self, width, depth, data):
+        """predecessors() inverts successors() for every node."""
+        net = SquareNetwork(width=width, depth=depth)
+        layer = data.draw(st.integers(0, depth - 2))
+        node = data.draw(st.integers(0, width - 1))
+        for succ in net.successors(layer, node):
+            assert node in net.predecessors(layer + 1, succ)
+
+    @given(st.integers(1, 10))
+    @settings_fast
+    def test_padded_count_is_minimal_multiple(self, width):
+        net = SquareNetwork(width=width, depth=3)
+        unit = width * net.beta
+        for messages in (1, unit - 1, unit, unit + 1):
+            padded = net.padded_message_count(messages)
+            assert padded >= messages
+            assert padded % unit == 0
+            assert padded - messages < unit
+
+
+class TestButterflyProperties:
+    @given(st.integers(1, 6), st.integers(1, 3))
+    @settings_fast
+    def test_always_validates(self, log_width, reps):
+        IteratedButterflyNetwork(log_width=log_width, repetitions=reps).validate()
+
+    @given(st.integers(1, 6), st.data())
+    @settings_fast
+    def test_partner_is_involution(self, log_width, data):
+        """Crossing the same butterfly stage twice returns home."""
+        net = IteratedButterflyNetwork(log_width=log_width)
+        layer = data.draw(st.integers(0, net.depth - 2))
+        node = data.draw(st.integers(0, net.width - 1))
+        partner = [s for s in net.successors(layer, node) if s != node]
+        if partner:
+            back = [
+                s for s in net.successors(layer, partner[0]) if s != partner[0]
+            ]
+            assert back == [node]
+
+    @given(st.integers(1, 5))
+    @settings_fast
+    def test_every_node_reachable_after_full_butterfly(self, log_width):
+        """One full butterfly connects any source to any sink."""
+        net = IteratedButterflyNetwork(log_width=log_width, repetitions=1)
+        reachable = {0}
+        for layer in range(log_width):
+            reachable = {
+                succ for node in reachable for succ in net.successors(layer, node)
+            }
+        assert reachable == set(range(net.width))
+
+
+class TestRoutingProperties:
+    @given(st.integers(1, 8), st.integers(1, 8))
+    @settings_fast
+    def test_route_batches_partition(self, beta, per_batch):
+        items = list(range(beta * per_batch))
+        batches = route_batches(items, beta)
+        assert len(batches) == beta
+        assert sorted(sum(batches, [])) == items
+        assert all(len(b) == per_batch for b in batches)
