@@ -1,0 +1,181 @@
+"""Fast-exponentiation engine speedup on MODP2048 (BENCH_fastexp.json).
+
+Verifying a cut-and-choose shuffle proof element-wise costs
+``2 * rounds * n`` full-size modular exponentiations — the dominant
+per-member cost of Algorithm 2 (paper §6, Table 3).  The batched
+verifier folds each round into two random-linear-combination
+multi-exponentiations with 128-bit weights; this benchmark measures
+both paths on the realistic MODP2048 group, asserts the >= 3x speedup
+the fast path is built for (in practice it is far larger), and records
+the before/after numbers in ``BENCH_fastexp.json`` at the repo root so
+later scaling PRs can track the trajectory.
+"""
+
+import json
+import secrets
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import print_table
+from repro.crypto.elgamal import AtomCiphertext, AtomElGamal, ElGamalKeyPair
+from repro.crypto.fastexp import FixedBaseExp
+from repro.crypto.groups import DeterministicRng, GroupElement, get_group
+from repro.crypto.shuffle_proof import _challenge_bits, prove_shuffle, verify_shuffle
+
+N_ELEMENTS = 12
+ROUNDS = 3
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastexp.json"
+
+
+def _seed_style_verify(group, public_key, inputs, outputs, proof):
+    """The seed's element-wise verification path: one generic ``pow``
+    per exponentiation, no fixed-base tables — the "before" baseline
+    that ``BENCH_fastexp.json`` tracks the fast path against."""
+    intermediates = [r.intermediate for r in proof.rounds]
+    bits = _challenge_bits(group, public_key, inputs, outputs, intermediates, ROUNDS)
+    if list(proof.challenge_bits) != bits:
+        return False
+    p, q = group.p, group.q
+    for rnd, bit in zip(proof.rounds, bits):
+        source = inputs if bit == 0 else rnd.intermediate
+        target = rnd.intermediate if bit == 0 else outputs
+        for i, (perm_i, r) in enumerate(zip(rnd.opened_perm, rnd.opened_rands)):
+            src = source[perm_i]
+            expect = AtomCiphertext(
+                R=GroupElement(pow(group.params.g, r % q, p), group) * src.R,
+                c=src.c * GroupElement(pow(public_key.value, r % q, p), group),
+                Y=None,
+            )
+            if expect != target[i]:
+                return False
+    return True
+
+
+def _build_proof(group):
+    rng = DeterministicRng(b"bench-fastexp")
+    scheme = AtomElGamal(group)
+    keys = ElGamalKeyPair.generate(group, rng)
+    inputs = []
+    for i in range(N_ELEMENTS):
+        message = group.encode(b"m%02d" % i)
+        ct, _ = scheme.encrypt(keys.public, message, rng)
+        inputs.append(ct)
+    outputs, perm, rands = scheme.shuffle(keys.public, inputs, rng)
+    proof = prove_shuffle(
+        group, keys.public, inputs, outputs, perm, rands, rounds=ROUNDS, rng=rng
+    )
+    return keys.public, inputs, outputs, proof
+
+
+@pytest.mark.slow
+def test_fastexp_speedup(benchmark):
+    group = get_group("MODP2048")
+
+    # -- fixed-base microbenchmark (Table 3's exponentiation row) ------
+    exponents = [secrets.randbelow(group.q) for _ in range(8)]
+    start = time.perf_counter()
+    table = FixedBaseExp(group.p, group.q, group.params.g)
+    table_build_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for e in exponents:
+        pow(group.params.g, e, group.p)
+    naive_pow_s = (time.perf_counter() - start) / len(exponents)
+    start = time.perf_counter()
+    for e in exponents:
+        table.pow(e)
+    fixed_pow_s = (time.perf_counter() - start) / len(exponents)
+    assert all(table.pow(e) == pow(group.params.g, e, group.p) for e in exponents)
+
+    # -- batch vs element-wise shuffle-proof verification --------------
+    public_key, inputs, outputs, proof = _build_proof(group)
+
+    start = time.perf_counter()
+    assert _seed_style_verify(group, public_key, inputs, outputs, proof)
+    before_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    assert verify_shuffle(
+        group, public_key, inputs, outputs, proof, rounds=ROUNDS, batched=False
+    )
+    elementwise_fb_s = time.perf_counter() - start
+
+    def batched():
+        assert verify_shuffle(
+            group, public_key, inputs, outputs, proof, rounds=ROUNDS, batched=True
+        )
+
+    batched()  # warm the fixed-base tables (g, pk) like a real round
+    benchmark.pedantic(batched, rounds=3, iterations=1)
+    batched_s = benchmark.stats.stats.min
+
+    speedup = before_s / batched_s
+    fixed_speedup = naive_pow_s / fixed_pow_s
+    print_table(
+        "Fast-exponentiation engine (MODP2048)",
+        ["metric", "before (generic pow)", "after", "speedup"],
+        [
+            (
+                "g^r (ms)",
+                f"{naive_pow_s * 1000:.2f}",
+                f"{fixed_pow_s * 1000:.2f}",
+                f"{fixed_speedup:.1f}x",
+            ),
+            (
+                f"verify shuffle n={N_ELEMENTS} rounds={ROUNDS} (s)",
+                f"{before_s:.3f}",
+                f"{batched_s:.3f}",
+                f"{speedup:.1f}x",
+            ),
+            (
+                "  (element-wise + fixed-base middle point, s)",
+                "",
+                f"{elementwise_fb_s:.3f}",
+                f"{before_s / elementwise_fb_s:.1f}x",
+            ),
+        ],
+    )
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "fastexp",
+                "group": "MODP2048",
+                "n_elements": N_ELEMENTS,
+                "proof_rounds": ROUNDS,
+                "verify_before_elementwise_pow_s": round(before_s, 6),
+                "verify_elementwise_fixed_base_s": round(elementwise_fb_s, 6),
+                "verify_batched_s": round(batched_s, 6),
+                "verify_speedup": round(speedup, 2),
+                "pow_naive_ms": round(naive_pow_s * 1000, 4),
+                "pow_fixed_base_ms": round(fixed_pow_s * 1000, 4),
+                "pow_speedup": round(fixed_speedup, 2),
+                "fixed_base_table_build_ms": round(table_build_s * 1000, 2),
+                "unix_time": int(time.time()),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert speedup >= 3.0, f"batched verification only {speedup:.1f}x faster"
+
+
+@pytest.mark.slow
+def test_batched_rejects_tampering_modp2048(benchmark):
+    """The fast path keeps soundness: a mauled output vector fails."""
+    group = get_group("MODP2048")
+    public_key, inputs, outputs, proof = _build_proof(group)
+    tampered = list(outputs)
+    tampered[0], tampered[1] = tampered[1], tampered[0]
+    benchmark.pedantic(
+        lambda: verify_shuffle(
+            group, public_key, inputs, tampered, proof, rounds=ROUNDS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert not verify_shuffle(
+        group, public_key, inputs, tampered, proof, rounds=ROUNDS
+    )

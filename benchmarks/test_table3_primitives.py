@@ -100,8 +100,14 @@ def test_shufproof_verify_and_report(benchmark, setup):
     group, scheme, kp, nxt, message, ct, r, cts = setup
     shuffled, perm, rands = scheme.shuffle(kp.public, cts)
     proof = prove_shuffle(group, kp.public, cts, shuffled, perm, rands, rounds=8)
+    # batched=False: Table 3's paper numbers are element-wise per-member
+    # verification costs (Neff); the batched fast path is tracked
+    # separately in BENCH_fastexp.json and would shift this comparison
+    # by ~14x.
     assert benchmark.pedantic(
-        lambda: verify_shuffle(group, kp.public, cts, shuffled, proof, rounds=8),
+        lambda: verify_shuffle(
+            group, kp.public, cts, shuffled, proof, rounds=8, batched=False
+        ),
         rounds=1,
         iterations=1,
     )
@@ -121,7 +127,9 @@ def test_shufproof_verify_and_report(benchmark, setup):
         )
         / BATCH,
         "ShufProof verify (per msg)": once(
-            lambda: verify_shuffle(group, kp.public, cts, shuffled, proof, 8)
+            lambda: verify_shuffle(
+                group, kp.public, cts, shuffled, proof, 8, batched=False
+            )
         )
         / BATCH,
     }

@@ -19,14 +19,22 @@ PAPER_MS = {4: 7.4, 8: 29.4, 16: 93.3, 32: 361.8, 64: 1432.1}
 SIZES = [4, 8, 16, 32, 64]
 
 
-def run_dvss(k: int) -> float:
+def run_dvss(k: int, repeats: int = 1) -> float:
+    """Best-of-``repeats`` DVSS wall-clock (min damps scheduler noise,
+    which dominates the sub-millisecond small-k runs)."""
     group = get_group("TOY")
-    start = time.perf_counter()
-    DvssProtocol(group, num_members=k, threshold=k).run()
-    return time.perf_counter() - start
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        DvssProtocol(group, num_members=k, threshold=k).run()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
-@pytest.mark.parametrize("k", SIZES)
+@pytest.mark.parametrize(
+    "k",
+    [4, 8, 16, pytest.param(32, marks=pytest.mark.slow), pytest.param(64, marks=pytest.mark.slow)],
+)
 def test_group_setup(benchmark, k):
     if k <= 16:
         benchmark(lambda: run_dvss(k))
@@ -34,8 +42,9 @@ def test_group_setup(benchmark, k):
         benchmark.pedantic(lambda: run_dvss(k), rounds=1, iterations=1)
 
 
+@pytest.mark.slow
 def test_table4_report(benchmark):
-    measured = {k: run_dvss(k) * 1000 for k in SIZES}
+    measured = {k: run_dvss(k, repeats=3 if k <= 16 else 1) * 1000 for k in SIZES}
     model = {k: group_setup_latency(k) * 1000 for k in SIZES}
     benchmark.pedantic(lambda: run_dvss(8), rounds=1, iterations=1)
 
@@ -53,8 +62,15 @@ def test_table4_report(benchmark):
     # 3.2x / 3.9x / 4.0x steps).  Our DVSS also publishes per-member
     # share images (k^2 extra exponentiations), so the largest step can
     # exceed 4x — the shape claim is "quadratic-or-worse, not linear".
+    # Per-step bands are generous because small-k runs are sub-ms on
+    # the TOY group and timer noise is real even with best-of-3.
     for small, large in zip(SIZES, SIZES[1:]):
         ratio = measured[large] / measured[small]
-        assert 2.0 < ratio < 14.0, f"setup growth {small}->{large} was {ratio:.1f}x"
-    # Paper's §4.5 claim: setup under two seconds for k < 64.
-    assert model[33] if 33 in model else group_setup_latency(33) * 1000 < 2000
+        assert 1.5 < ratio < 20.0, f"setup growth {small}->{large} was {ratio:.1f}x"
+    # Cumulative shape over the full 4->64 span: four doublings of a
+    # quadratic-or-worse cost must grow far faster than linear (16x).
+    overall = measured[64] / measured[4]
+    assert overall > 25.0, f"setup growth 4->64 was only {overall:.1f}x"
+    # Paper's §4.5 claim: setup under two seconds for k = 33 (the
+    # deployment group size); checked against the calibrated model.
+    assert group_setup_latency(33) * 1000 < 2000

@@ -26,6 +26,7 @@ def cmd_round(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         message_size=args.message_size,
         crypto_group=args.crypto_group,
+        parallelism=args.parallelism,
     )
     deployment = AtomDeployment(config)
     rnd = deployment.start_round(0)
@@ -121,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_round.add_argument("--iterations", type=int, default=4)
     p_round.add_argument("--message-size", type=int, default=24)
     p_round.add_argument("--crypto-group", default="TEST")
+    p_round.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="worker processes for mixing one layer's groups (1 = serial)",
+    )
     p_round.set_defaults(func=cmd_round)
 
     p_sim = sub.add_parser("simulate", help="run the performance simulator")

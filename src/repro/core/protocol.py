@@ -32,7 +32,13 @@ from repro.core import messages as fmt
 from repro.core.blame import BlameReport, identify_malicious_users
 from repro.core.client import Client, Submission, TrapSubmission
 from repro.core.directory import Directory, DirectoryConfig, make_fleet
-from repro.core.group import GroupContext, GroupStalled, MixAudit, ProtocolAbort
+from repro.core.group import (
+    GroupContext,
+    GroupStalled,
+    MixAudit,
+    ProtocolAbort,
+    mix_layer_parallel,
+)
 from repro.core.server import AtomServer
 from repro.core.trustees import GroupReport, KeyWithheld, TrusteeGroup
 from repro.crypto.beacon import RandomnessBeacon
@@ -70,12 +76,43 @@ class DeploymentConfig:
     nizk_rounds: int = 6
     num_trustees: int = 3
     seed: bytes = b"repro.deployment"
+    #: worker processes for mixing one layer's independent groups
+    #: (1 = serial, the paper's horizontal-scaling claim of Fig. 7)
+    parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
             raise ValueError(f"variant must be one of {VARIANTS}")
         if self.mode == "anytrust" and self.h != 1:
             raise ValueError("anytrust deployments have h = 1")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+
+
+class InnerPayloadForger:
+    """Builds a valid trustee-encrypted filler payload for the modeled
+    §4.4 attacker (substitutions only the trap mechanism can catch).
+
+    A class (not a closure) so it pickles with its
+    :class:`~repro.core.group.GroupContext` into mixing worker
+    processes — the parallel path must not silently degrade the trap
+    variant to the weaker garbage-forging attacker.
+    """
+
+    def __init__(self, group, trustee_public, message_size: int, payload_size: int):
+        self.group = group
+        self.trustee_public = trustee_public
+        self.message_size = message_size
+        self.payload_size = payload_size
+
+    def __call__(self) -> bytes:
+        import secrets as _secrets
+
+        from repro.crypto.kem import cca2_encrypt
+
+        filler = fmt.pad_payload(_secrets.token_bytes(8), 4 + self.message_size)
+        inner = cca2_encrypt(self.group, self.trustee_public, filler)
+        return fmt.build_inner_payload(self.group, inner, self.payload_size)
 
 
 @dataclass
@@ -158,6 +195,22 @@ class AtomDeployment:
         self.spec = fmt.PayloadSpec.for_deployment(
             self.group, config.message_size, trap_variant=(config.variant == "trap")
         )
+        #: lazily-created mixing worker pool, reused across rounds so
+        #: repeated run_round calls don't pay process startup each time
+        self._pool = None
+
+    def _mixing_pool(self):
+        if self.config.parallelism > 1 and self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.config.parallelism)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the mixing worker pool (if one was created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     # -- round lifecycle ---------------------------------------------------
 
@@ -183,20 +236,11 @@ class AtomDeployment:
             # Arm the strongest modeled attacker: substituted ciphertexts
             # are *valid* inner ciphertexts to the trustees (so only the
             # trap mechanism can catch the substitution — §4.4 analysis).
-            from repro.crypto.kem import cca2_encrypt
-            import secrets as _secrets
-
-            def _forge_inner_payload() -> bytes:
-                filler = fmt.pad_payload(
-                    _secrets.token_bytes(8), 4 + cfg.message_size
-                )
-                inner = cca2_encrypt(self.group, trustees.public_key, filler)
-                return fmt.build_inner_payload(
-                    self.group, inner, self.spec.payload_size
-                )
-
+            forger = InnerPayloadForger(
+                self.group, trustees.public_key, cfg.message_size, self.spec.payload_size
+            )
             for ctx in contexts:
-                ctx.forge_payload_fn = _forge_inner_payload
+                ctx.forge_payload_fn = forger
         return Round(round_id, contexts, topology, trustees, self.spec.payload_size)
 
     def messages_per_group(self, num_users: int) -> int:
@@ -355,12 +399,15 @@ class AtomDeployment:
             raise ValueError(f"unbalanced entry load: {counts}")
 
         holdings = {gid: list(vs) for gid, vs in rnd.holdings.items()}
+        pool = self._mixing_pool() if len(rnd.contexts) > 1 else None
         try:
             for layer in range(topo.depth):
                 last = layer == topo.depth - 1
                 incoming: Dict[int, List[CiphertextVector]] = {
                     ctx.gid: [] for ctx in rnd.contexts
                 }
+                # Gather this layer's independent per-group mix tasks.
+                tasks = []
                 for ctx in rnd.contexts:
                     vectors = holdings[ctx.gid]
                     if not vectors:
@@ -373,7 +420,28 @@ class AtomDeployment:
                         next_keys = [
                             rnd.context(succ).public_key for succ in successors
                         ]
-                    if verify:
+                    tasks.append((ctx, vectors, next_keys, successors))
+
+                # Opt-in parallel path: independent groups mix across
+                # worker processes (Fig. 7 horizontal scaling); groups
+                # carrying in-process adversarial hooks stay serial.
+                results_by_gid: Dict[int, Tuple[list, MixAudit]] = {}
+                if pool is not None:
+                    eligible = [t for t in tasks if t[0].parallel_safe()]
+                    if len(eligible) > 1:
+                        mixed = mix_layer_parallel(
+                            pool,
+                            [(ctx, vec, keys) for ctx, vec, keys, _ in eligible],
+                            use_reenc_proofs=verify,
+                            rng=rng,
+                        )
+                        for gid, batches, audit in mixed:
+                            results_by_gid[gid] = (batches, audit)
+
+                for ctx, vectors, next_keys, successors in tasks:
+                    if ctx.gid in results_by_gid:
+                        batches, audit = results_by_gid[ctx.gid]
+                    elif verify:
                         batches, audit = ctx.mix_with_reenc_proofs(
                             vectors, next_keys, rng
                         )

@@ -37,7 +37,7 @@ class ElGamalKeyPair:
     @classmethod
     def generate(cls, group: Group, rng: Optional[DeterministicRng] = None) -> "ElGamalKeyPair":
         x = group.random_scalar(rng)
-        return cls(secret=x, public=group.g ** x)
+        return cls(secret=x, public=group.g_pow(x))
 
 
 @dataclass(frozen=True)
@@ -92,8 +92,8 @@ class AtomElGamal:
         """``Enc(X, m)``: returns the ciphertext and the randomness ``r``
         (needed by :class:`~repro.crypto.nizk.EncProof`)."""
         r = randomness if randomness is not None else self.group.random_scalar(rng)
-        R = self.group.g ** r
-        c = message * (public_key ** r)
+        R = self.group.g_pow(r)
+        c = message * self.group.pow_cached(public_key, r)
         return AtomCiphertext(R=R, c=c, Y=None), r
 
     def decrypt(self, secret: int, ciphertext: AtomCiphertext) -> GroupElement:
@@ -116,8 +116,8 @@ class AtomElGamal:
             raise ValueError("Shuffle requires Y = ⊥")
         r = randomness if randomness is not None else self.group.random_scalar(rng)
         return AtomCiphertext(
-            R=(self.group.g ** r) * ciphertext.R,
-            c=ciphertext.c * (public_key ** r),
+            R=self.group.g_pow(r) * ciphertext.R,
+            c=ciphertext.c * self.group.pow_cached(public_key, r),
             Y=None,
         )
 
@@ -174,8 +174,8 @@ class AtomElGamal:
             return AtomCiphertext(R=R, c=c_tmp, Y=Y)
         r = randomness if randomness is not None else self.group.random_scalar(rng)
         return AtomCiphertext(
-            R=(self.group.g ** r) * R,
-            c=c_tmp * (next_public_key ** r),
+            R=self.group.g_pow(r) * R,
+            c=c_tmp * self.group.pow_cached(next_public_key, r),
             Y=Y,
         )
 

@@ -25,7 +25,9 @@ from __future__ import annotations
 import hashlib
 import secrets
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Union
+
+from repro.crypto.fastexp import FixedBaseExp, jacobi
 
 
 class EncodingError(ValueError):
@@ -114,6 +116,11 @@ class GroupElement:
         return GroupElement(self.value * inv % self.group.p, self.group)
 
     def __pow__(self, exponent: int) -> "GroupElement":
+        # Hot bases (g, group public keys) have a fixed-base table on
+        # the Group; everything else takes the generic pow path.
+        table = self.group._table_hit(self.value)
+        if table is not None:
+            return GroupElement(table.pow(exponent), self.group)
         return GroupElement(
             pow(self.value, exponent % self.group.q, self.group.p), self.group
         )
@@ -146,12 +153,94 @@ class Group:
     encoding into the subgroup.
     """
 
+    #: fixed-base tables kept at most this many per group (a MODP2048
+    #: table is ~3.5 MB, so the worst case stays a few hundred MB even
+    #: in a long-running deployment churning per-round keys)
+    FIXED_CACHE_LIMIT = 64
+    #: plain-pow uses of a base before it is promoted to a table
+    FIXED_PROMOTE_AFTER = 2
+
     def __init__(self, params: GroupParams):
         self.params = params
         self.p = params.p
         self.q = params.q
         self.g = GroupElement(params.g, self)
         self.identity = GroupElement(1, self)
+        #: base value -> FixedBaseExp table (hot bases: g, public keys)
+        self._fixed_cache: dict = {}
+        #: base value -> times seen by pow_cached (promotion counter)
+        self._fixed_counts: dict = {}
+
+    def __reduce__(self):
+        # Registry groups unpickle back through get_group, restoring
+        # singleton identity: worker processes (parallel mixing) keep
+        # one warm fixed-base cache across tasks instead of shipping
+        # tables in every payload and rebuilding them per task, and
+        # results returned to the parent reuse its warm group.
+        if _PARAM_SETS.get(self.params.name) == self.params:
+            return (get_group, (self.params.name,))
+        return (Group, (self.params,))
+
+    # -- fast exponentiation ------------------------------------------
+
+    def _table_hit(self, value: int) -> Optional[FixedBaseExp]:
+        """Cache lookup with an LRU touch on hit, so hot bases used
+        through ``__pow__``/``pow_cached`` are not evicted in favor of
+        dead per-round keys that merely got inserted later."""
+        table = self._fixed_cache.get(value)
+        if table is not None:
+            del self._fixed_cache[value]
+            self._fixed_cache[value] = table
+        return table
+
+    def fixed_base(self, base: Union[GroupElement, int]) -> FixedBaseExp:
+        """Return (building and caching if needed) the fixed-base comb
+        table for ``base``.  Call this for bases known to be hot — the
+        generator and per-round group public keys."""
+        value = base.value if isinstance(base, GroupElement) else base % self.p
+        table = self._table_hit(value)
+        if table is None:
+            if len(self._fixed_cache) >= self.FIXED_CACHE_LIMIT:
+                # Evict least-recently-used, but never the generator:
+                # dead per-round keys go first, g stays hot forever.
+                for stale in self._fixed_cache:
+                    if stale != self.params.g:
+                        self._fixed_cache.pop(stale)
+                        break
+            table = FixedBaseExp(self.p, self.q, value)
+            self._fixed_cache[value] = table
+        return table
+
+    def g_pow(self, exponent: int) -> GroupElement:
+        """``g^exponent`` via the generator's fixed-base table."""
+        if self.params.g not in self._fixed_cache:
+            self.fixed_base(self.g)
+        return GroupElement(self._fixed_cache[self.params.g].pow(exponent), self)
+
+    def pow_cached(self, base: GroupElement, exponent: int) -> GroupElement:
+        """``base^exponent`` that promotes recurring bases to tables.
+
+        A base already backed by a table uses it immediately; otherwise
+        a use-counter promotes the base after ``FIXED_PROMOTE_AFTER``
+        plain exponentiations, so per-round public keys (and derived
+        values like ``pk^-1`` in sigma statements) get fast after their
+        first couple of appearances while one-shot bases never pay the
+        table-build cost.
+        """
+        value = base.value
+        table = self._table_hit(value)
+        if table is not None:
+            return GroupElement(table.pow(exponent), self)
+        if value == 1:
+            return self.identity
+        seen = self._fixed_counts.get(value, 0) + 1
+        if seen > self.FIXED_PROMOTE_AFTER:
+            self._fixed_counts.pop(value, None)
+            return GroupElement(self.fixed_base(base).pow(exponent), self)
+        if len(self._fixed_counts) > 8192:  # bound the counter map
+            self._fixed_counts.clear()
+        self._fixed_counts[value] = seen
+        return GroupElement(pow(value, exponent % self.q, self.p), self)
 
     # -- construction -------------------------------------------------
 
@@ -167,7 +256,7 @@ class Group:
 
     def random_element(self, rng: Optional["DeterministicRng"] = None) -> GroupElement:
         """Sample a uniform element of the subgroup (as g^r)."""
-        return self.g ** self.random_scalar(rng)
+        return self.g_pow(self.random_scalar(rng))
 
     # -- hashing ------------------------------------------------------
 
@@ -244,6 +333,16 @@ class Group:
     # -- internals ----------------------------------------------------
 
     def _is_qr(self, value: int) -> bool:
+        """Quadratic-residue test via the Jacobi symbol.
+
+        For prime ``p`` the Jacobi symbol equals the Legendre symbol,
+        so this is equivalent to Euler's criterion (kept below as the
+        property-test oracle) at O(log^2) bit cost instead of a full
+        modular exponentiation per ``encode``.
+        """
+        return jacobi(value, self.p) == 1
+
+    def _is_qr_euler(self, value: int) -> bool:
         """Euler's criterion: value^q == 1 mod p iff value is a QR."""
         return pow(value, self.q, self.p) == 1
 

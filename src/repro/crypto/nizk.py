@@ -138,7 +138,7 @@ def prove_reencryption(
 
     ``randomness`` is the ``r'`` used (``None`` for the final layer).
     """
-    server_public = group.g ** secret
+    server_public = group.g_pow(secret)
     rows, final = _reenc_rows(group, server_public, next_public_key, before, after)
     witness = [secret] if final else [secret, randomness]
     context = _reenc_context(before, after, next_public_key)

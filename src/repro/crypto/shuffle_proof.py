@@ -29,15 +29,77 @@ bit-1 opening possible without revealing the witness.
 
 from __future__ import annotations
 
+import secrets
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.elgamal import AtomCiphertext, AtomElGamal
+from repro.crypto.fastexp import jacobi, multiexp
 from repro.crypto.groups import DeterministicRng, Group, GroupElement
 
 #: Default number of cut-and-choose rounds (soundness 2^-16 for tests;
 #: a deployment would use 64+).  Benchmarks sweep this as an ablation.
 DEFAULT_ROUNDS = 16
+
+#: Bit length of the random weights in batched verification; a cheating
+#: round survives the random-linear-combination check with probability
+#: at most 2^-(WEIGHT_BITS-1).
+WEIGHT_BITS = 128
+
+
+def _batch_weights(n: int, rng: Optional[DeterministicRng] = None) -> List[int]:
+    """Verifier-chosen random weights in ``[1, 2^WEIGHT_BITS)``."""
+    if rng is not None:
+        return [rng.randint(1, (1 << WEIGHT_BITS) - 1) for _ in range(n)]
+    return [secrets.randbits(WEIGHT_BITS) | 1 for _ in range(n)]
+
+
+def batch_rerand_check(
+    group: Group,
+    public_key: GroupElement,
+    sources: Sequence[AtomCiphertext],
+    targets: Sequence[AtomCiphertext],
+    rands: Sequence[int],
+    rng: Optional[DeterministicRng] = None,
+) -> bool:
+    """Batched check that ``targets[i] == Rerand(sources[i], rands[i])``.
+
+    Folds the ``2n`` per-element equations into two multi-exponentiation
+    identities with random ~128-bit weights ``w_i`` (the small-exponent
+    batching test; see DESIGN.md):
+
+        prod_i targets[i].R^{w_i} == g^{sum w_i r_i} * prod_i sources[i].R^{w_i}
+        prod_i targets[i].c^{w_i} == pk^{sum w_i r_i} * prod_i sources[i].c^{w_i}
+
+    Any violated element equation makes the identities fail except with
+    probability ~2^-WEIGHT_BITS over the weights.
+
+    Every component must lie in the order-``q`` QR subgroup, enforced
+    below via the Jacobi symbol.  ``GroupElement`` only guarantees
+    membership in ``Z_p^* = QR x {±1}``, and an order-2 factor (a
+    sign-flipped component, ``x -> p - x``) would survive the linear
+    combination whenever its weight is even — degrading soundness to
+    ~1/2 per round — while the element-wise reference path rejects it
+    always.  Restricting to the prime-order subgroup restores the
+    Schwartz-Zippel bound.
+    """
+    for src, tgt in zip(sources, targets):
+        if src.Y is not None or tgt.Y is not None:
+            return False
+        for component in (src.R, src.c, tgt.R, tgt.c):
+            if jacobi(component.value, group.p) != 1:
+                return False
+    weights = _batch_weights(len(sources), rng)
+    s = sum(w * r for w, r in zip(weights, rands)) % group.q
+    lhs_r = multiexp(group, [t.R for t in targets], weights)
+    rhs_r = group.g_pow(s) * multiexp(group, [c.R for c in sources], weights)
+    if lhs_r != rhs_r:
+        return False
+    lhs_c = multiexp(group, [t.c for t in targets], weights)
+    rhs_c = group.pow_cached(public_key, s) * multiexp(
+        group, [c.c for c in sources], weights
+    )
+    return lhs_c == rhs_c
 
 
 @dataclass(frozen=True)
@@ -144,8 +206,17 @@ def verify_shuffle(
     outputs: Sequence[AtomCiphertext],
     proof: ShuffleProof,
     rounds: int = DEFAULT_ROUNDS,
+    batched: bool = True,
+    weight_rng: Optional[DeterministicRng] = None,
 ) -> bool:
-    """Verify a :class:`ShuffleProof`."""
+    """Verify a :class:`ShuffleProof`.
+
+    The default path batch-verifies each round's ``2n`` rerandomization
+    equations as two random-linear-combination multi-exponentiations
+    (collapsing ``2 * rounds * n`` full exponentiations into a handful
+    of multi-exps); ``batched=False`` keeps the element-wise reference
+    path used by benchmarks and differential tests.
+    """
     scheme = AtomElGamal(group)
     n = len(inputs)
     if len(outputs) != n:
@@ -163,10 +234,23 @@ def verify_shuffle(
     for rnd, bit in zip(proof.rounds, expected_bits):
         if len(rnd.intermediate) != n or len(rnd.opened_perm) != n:
             return False
+        if len(rnd.opened_rands) != n:
+            return False
         if sorted(rnd.opened_perm) != list(range(n)):
             return False
         source = inputs if bit == 0 else rnd.intermediate
         target = rnd.intermediate if bit == 0 else outputs
+        if batched:
+            if not batch_rerand_check(
+                group,
+                public_key,
+                [source[rnd.opened_perm[i]] for i in range(n)],
+                target,
+                rnd.opened_rands,
+                weight_rng,
+            ):
+                return False
+            continue
         for i in range(n):
             src = source[rnd.opened_perm[i]]
             if src.Y is not None:

@@ -85,6 +85,11 @@ def prove(
     for _, bases in rows:
         t = group.identity
         for base, nonce in zip(bases, nonces):
+            # ``**`` is cache-aware: bases with fixed-base tables (g,
+            # promoted keys) use them; per-ciphertext bases like the
+            # re-encryption statement's Y must NOT feed the promotion
+            # counter — a table built for a base with two uses left is
+            # a net slowdown plus LRU churn.
             t = t * (base ** nonce)
         commitments.append(t)
 
@@ -120,7 +125,7 @@ def verify(
             return False
         lhs = group.identity
         for base, z in zip(bases, proof.responses):
-            lhs = lhs * (base ** z)
+            lhs = lhs * (base ** z)  # cache-aware, no promotion
         if lhs != t * (target ** e):
             return False
     return True

@@ -153,7 +153,9 @@ class ThresholdElGamal:
         xs = [p + 1 for p in participants]
         j = participants.index(member)
         lam = lagrange_coefficient(self.group.q, xs, j)
-        return self.dvss.share_publics[member] ** lam
+        # Share images recur across partial-decryption verifications;
+        # pow_cached promotes them to tables after a couple of uses.
+        return self.group.pow_cached(self.dvss.share_publics[member], lam)
 
 
 def release_and_decrypt(

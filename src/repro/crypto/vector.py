@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.elgamal import AtomCiphertext, AtomElGamal
 from repro.crypto.groups import DeterministicRng, Group, GroupElement
+from repro.crypto.shuffle_proof import batch_rerand_check
 
 
 @dataclass(frozen=True)
@@ -246,8 +247,16 @@ def verify_vector_shuffle(
     outputs: Sequence[CiphertextVector],
     proof: VectorShuffleProof,
     rounds: int = 16,
+    batched: bool = True,
+    weight_rng: Optional[DeterministicRng] = None,
 ) -> bool:
-    """Verify a :class:`VectorShuffleProof`."""
+    """Verify a :class:`VectorShuffleProof`.
+
+    By default each round's per-part rerandomization equations (over
+    all ``n * parts`` ciphertext parts) are folded into one batched
+    random-linear-combination check (two multi-exponentiations); pass
+    ``batched=False`` for the element-wise reference path.
+    """
     group = scheme.group
     n = len(inputs)
     if len(outputs) != n:
@@ -265,14 +274,31 @@ def verify_vector_shuffle(
     for rnd, bit in zip(proof.rounds, expected):
         if len(rnd.intermediate) != n or len(rnd.opened_perm) != n:
             return False
+        if len(rnd.opened_rands) != n:
+            return False
         if sorted(rnd.opened_perm) != list(range(n)):
             return False
         source = inputs if bit == 0 else rnd.intermediate
         target = rnd.intermediate if bit == 0 else outputs
         for i in range(n):
             src = source[rnd.opened_perm[i]]
-            if len(rnd.opened_rands[i]) != len(src.parts):
+            if len(rnd.opened_rands[i]) != len(src.parts) or len(
+                target[i].parts
+            ) != len(src.parts):
                 return False
+        if batched:
+            flat_sources, flat_targets, flat_rands = [], [], []
+            for i in range(n):
+                flat_sources.extend(source[rnd.opened_perm[i]].parts)
+                flat_targets.extend(target[i].parts)
+                flat_rands.extend(rnd.opened_rands[i])
+            if not batch_rerand_check(
+                group, public_key, flat_sources, flat_targets, flat_rands, weight_rng
+            ):
+                return False
+            continue
+        for i in range(n):
+            src = source[rnd.opened_perm[i]]
             if any(p.Y is not None for p in src.parts):
                 return False
             try:

@@ -36,9 +36,11 @@ def test_output_permutation_uniform():
     """Chi-squared over repeated full protocol runs."""
     perms = [run_round_permutation(t) for t in range(120)]
     stat, dof = chi_squared_uniformity(perms)
-    # Uniform data concentrates near dof; identity-like routing would
-    # blow far past it (see tests/analysis for the detector's power).
-    assert stat < 2.0 * dof, f"chi2 {stat:.1f} vs dof {dof}"
+    # Uniform data concentrates near dof; identity-like routing scores
+    # in the hundreds (see tests/analysis for the detector's power).
+    # 3.0*dof keeps that power while dropping the false-failure rate
+    # from ~3% (measured at the old 2.0*dof bound) to ~1e-4.
+    assert stat < 3.0 * dof, f"chi2 {stat:.1f} vs dof {dof}"
 
 
 def test_no_input_position_fixed():

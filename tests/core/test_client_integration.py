@@ -157,7 +157,7 @@ class TestIntegration128Bit:
             crypto_group="TOY",
         )
         aborts = 0
-        trials = 10
+        trials = 12
         for trial in range(trials):
             dep = AtomDeployment(config)
             rnd = dep.start_round(trial)
@@ -167,8 +167,11 @@ class TestIntegration128Bit:
                 dep.submit_trap(rnd, f"m{i}".encode(), entry_gid=i % 2)
             result = dep.run_round(rnd)
             aborts += result.aborted
-        # two independent tamperings evade with probability ~1/4
-        assert aborts >= trials // 2
+        # Two independent tamperings evade with probability ~1/4, so
+        # E[aborts] = 9.  The bound leaves statistical headroom: under
+        # p=3/4 per trial, P(aborts < 5) ~ 3e-3 (was ~2e-2 at the old
+        # trials//2-of-10 bound, a recurring flake).
+        assert aborts >= 5
 
     def test_audit_totals_accumulate(self):
         config = DeploymentConfig(

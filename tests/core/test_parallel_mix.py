@@ -1,0 +1,130 @@
+"""Parallel group mixing (DeploymentConfig.parallelism, paper Fig. 7).
+
+One layer's groups are independent, so their shuffle + proof work can
+fan out across worker processes.  These tests pin the contract: the
+parallel path delivers the same protocol outcomes as the serial path,
+is reproducible under a deterministic RNG, falls back to serial for
+groups carrying in-process adversarial instrumentation, and propagates
+worker-side aborts.
+"""
+
+import pytest
+
+from repro.core import AtomDeployment, DeploymentConfig
+from repro.core.group import GroupStalled, ProtocolAbort
+from repro.core.server import Behavior
+from repro.crypto.groups import DeterministicRng
+
+
+def _basic_config(parallelism: int, **overrides) -> DeploymentConfig:
+    defaults = dict(
+        num_servers=8,
+        num_groups=2,
+        group_size=2,
+        variant="basic",
+        iterations=2,
+        message_size=8,
+        crypto_group="TOY",
+        adversarial_fraction=0.0,
+        parallelism=parallelism,
+    )
+    defaults.update(overrides)
+    return DeploymentConfig(**defaults)
+
+
+def _run(config: DeploymentConfig, seed: bytes = b"parallel-test"):
+    dep = AtomDeployment(config)
+    rnd = dep.start_round(0, rng=DeterministicRng(seed + b"-setup"))
+    messages = [b"msg-%d" % i for i in range(4)]
+    for i, msg in enumerate(messages):
+        dep.submit_plain(rnd, msg, entry_gid=i % 2)
+    result = dep.run_round(rnd, rng=DeterministicRng(seed + b"-round"))
+    return messages, result
+
+
+def test_parallel_round_delivers_all_messages():
+    messages, result = _run(_basic_config(parallelism=2))
+    assert result.ok
+    assert sorted(result.messages) == sorted(messages)
+
+
+def test_parallel_round_is_reproducible():
+    _, first = _run(_basic_config(parallelism=2))
+    _, second = _run(_basic_config(parallelism=2))
+    assert first.messages == second.messages
+    assert first.bytes_sent_total == second.bytes_sent_total
+
+
+def test_parallel_matches_serial_outcome():
+    messages, serial = _run(_basic_config(parallelism=1))
+    _, parallel = _run(_basic_config(parallelism=2))
+    assert serial.ok and parallel.ok
+    # The permutations differ (derived per-group seeds), but the same
+    # message multiset comes out and the same bytes move per audit sum.
+    assert sorted(parallel.messages) == sorted(messages)
+    assert len(parallel.audits) == len(serial.audits)
+
+
+def test_parallel_nizk_round_verifies():
+    config = _basic_config(parallelism=2, variant="nizk", nizk_rounds=4)
+    messages, result = _run(config)
+    assert result.ok
+    assert sorted(result.messages) == sorted(messages)
+    assert all(a.shuffles_proved > 0 for a in result.audits)
+
+
+def test_malicious_group_is_not_parallel_safe():
+    dep = AtomDeployment(_basic_config(parallelism=2))
+    rnd = dep.start_round(0, rng=DeterministicRng(b"safe-check"))
+    assert all(ctx.parallel_safe() for ctx in rnd.contexts)
+    rnd.contexts[0].servers[0].behavior = Behavior.BAD_SHUFFLE
+    assert not rnd.contexts[0].parallel_safe()
+    assert rnd.contexts[1].parallel_safe()
+
+
+def test_honest_trap_groups_are_parallel_safe():
+    # The trap deployment's forge hook is a picklable callable object,
+    # so honest trap groups must still take the parallel path.
+    config = _basic_config(parallelism=2, variant="trap")
+    dep = AtomDeployment(config)
+    rnd = dep.start_round(0, rng=DeterministicRng(b"trap-par"))
+    assert all(ctx.forge_payload_fn is not None for ctx in rnd.contexts)
+    assert all(ctx.parallel_safe() for ctx in rnd.contexts)
+    for i in range(4):
+        dep.submit_trap(rnd, b"trap-%d" % i, entry_gid=i % 2)
+    result = dep.run_round(rnd)
+    assert result.ok
+    assert sorted(result.messages) == sorted(b"trap-%d" % i for i in range(4))
+
+
+def test_closure_forge_hook_forces_serial():
+    dep = AtomDeployment(_basic_config(parallelism=2))
+    rnd = dep.start_round(0, rng=DeterministicRng(b"closure"))
+    rnd.contexts[0].forge_payload_fn = lambda: b"x"
+    assert not rnd.contexts[0].parallel_safe()
+
+
+def test_worker_stall_propagates_as_abort():
+    dep = AtomDeployment(_basic_config(parallelism=2))
+    rnd = dep.start_round(0, rng=DeterministicRng(b"stall"))
+    for i in range(4):
+        dep.submit_plain(rnd, b"msg-%d" % i, entry_gid=i % 2)
+    rnd.contexts[0].servers[0].fail()
+    result = dep.run_round(rnd, rng=DeterministicRng(b"stall-round"))
+    assert result.aborted
+    assert "alive" in result.abort_reason
+
+
+def test_abort_exceptions_pickle_roundtrip():
+    import pickle
+
+    abort = ProtocolAbort(3, 7, "shuffle")
+    clone = pickle.loads(pickle.dumps(abort))
+    assert (clone.gid, clone.culprit, clone.stage) == (3, 7, "shuffle")
+    stalled = pickle.loads(pickle.dumps(GroupStalled(1, 2, 3)))
+    assert (stalled.gid, stalled.alive, stalled.needed) == (1, 2, 3)
+
+
+def test_parallelism_knob_validation():
+    with pytest.raises(ValueError):
+        DeploymentConfig(parallelism=0)

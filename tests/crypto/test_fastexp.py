@@ -1,0 +1,257 @@
+"""Property tests for the fast-exponentiation engine.
+
+``FixedBaseExp``, ``multiexp`` and the Jacobi-symbol QR test must agree
+*exactly* with the generic ``pow`` paths they replace — any divergence
+is a soundness bug, not a performance bug — and the batched shuffle
+verifier must keep rejecting tampered proofs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.elgamal import AtomElGamal, ElGamalKeyPair
+from repro.crypto.fastexp import FixedBaseExp, jacobi, multiexp, multiexp_ints
+from repro.crypto.groups import DeterministicRng, get_group
+from repro.crypto.shuffle_proof import ShuffleRound, prove_shuffle, verify_shuffle
+from repro.crypto.vector import (
+    encrypt_vector,
+    prove_vector_shuffle,
+    shuffle_vectors,
+    verify_vector_shuffle,
+)
+
+TOY = get_group("TOY")
+TEST = get_group("TEST")
+MODP = get_group("MODP2048")
+
+settings_fast = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+toy_scalars = st.integers(min_value=0, max_value=2 * TOY.q)
+toy_bases = st.integers(min_value=2, max_value=TOY.p - 1)
+
+
+class TestFixedBaseExp:
+    @given(toy_bases, toy_scalars)
+    @settings_fast
+    def test_matches_pow_toy(self, base, exponent):
+        table = FixedBaseExp(TOY.p, TOY.q, base)
+        assert table.pow(exponent) == pow(base, exponent % TOY.q, TOY.p)
+
+    @given(st.integers(min_value=0, max_value=2 * TEST.q))
+    @settings_fast
+    def test_matches_pow_test_group(self, exponent):
+        table = TEST.fixed_base(TEST.g)
+        assert table.pow(exponent) == pow(TEST.params.g, exponent % TEST.q, TEST.p)
+
+    @pytest.mark.parametrize("group", [TOY, TEST, MODP], ids=lambda g: g.params.name)
+    def test_edge_exponents(self, group):
+        table = FixedBaseExp(group.p, group.q, group.params.g)
+        for e in (0, 1, 2, group.q - 1, group.q, group.q + 1):
+            assert table.pow(e) == pow(group.params.g, e % group.q, group.p)
+
+    def test_modp2048_random_exponent(self, rng):
+        e = rng.randint(1, MODP.q - 1)
+        assert MODP.g_pow(e).value == pow(MODP.params.g, e, MODP.p)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            FixedBaseExp(TOY.p, TOY.q, 0)
+
+    @given(toy_scalars)
+    @settings_fast
+    def test_group_element_pow_uses_table(self, exponent):
+        # g is table-backed on the cached group; result must equal pow.
+        TOY.fixed_base(TOY.g)
+        assert (TOY.g ** exponent).value == pow(TOY.params.g, exponent % TOY.q, TOY.p)
+
+
+class TestMultiexp:
+    @given(st.lists(st.tuples(toy_bases, toy_scalars), min_size=0, max_size=6))
+    @settings_fast
+    def test_matches_naive_product(self, pairs):
+        bases = [b for b, _ in pairs]
+        exps = [e for _, e in pairs]
+        expected = 1
+        for b, e in pairs:
+            expected = expected * pow(b, e % TOY.q, TOY.p) % TOY.p
+        assert multiexp_ints(TOY.p, TOY.q, bases, exps) == expected
+
+    @given(st.lists(toy_scalars, min_size=1, max_size=5))
+    @settings_fast
+    def test_group_wrapper(self, exps):
+        bases = [TOY.g_pow(i + 2) for i in range(len(exps))]
+        expected = TOY.identity
+        for b, e in zip(bases, exps):
+            expected = expected * b ** e
+        assert multiexp(TOY, bases, exps) == expected
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            multiexp_ints(TOY.p, TOY.q, [2, 3], [1])
+
+    def test_empty_and_zero_exponents(self):
+        assert multiexp_ints(TOY.p, TOY.q, [], []) == 1
+        assert multiexp_ints(TOY.p, TOY.q, [2, 3], [0, 0]) == 1
+        assert multiexp_ints(TOY.p, TOY.q, [2, 3], [TOY.q, 0]) == 1
+
+    def test_modp2048_spot_check(self, rng):
+        bases = [pow(MODP.params.g, i + 2, MODP.p) for i in range(4)]
+        exps = [rng.randint(1, MODP.q - 1) for _ in range(4)]
+        expected = 1
+        for b, e in zip(bases, exps):
+            expected = expected * pow(b, e, MODP.p) % MODP.p
+        assert multiexp_ints(MODP.p, MODP.q, bases, exps) == expected
+
+
+class TestJacobi:
+    @given(st.integers(min_value=0, max_value=TOY.p - 1))
+    @settings_fast
+    def test_agrees_with_euler_criterion_toy(self, value):
+        if value == 0:
+            assert jacobi(value, TOY.p) == 0
+        else:
+            assert (jacobi(value, TOY.p) == 1) == TOY._is_qr_euler(value)
+
+    @given(st.integers(min_value=1, max_value=TEST.p - 1))
+    @settings_fast
+    def test_agrees_with_euler_criterion_test_group(self, value):
+        assert (jacobi(value, TEST.p) == 1) == TEST._is_qr_euler(value)
+
+    def test_group_is_qr_delegates_to_jacobi(self, rng):
+        for _ in range(20):
+            v = rng.randint(1, TOY.p - 1)
+            assert TOY._is_qr(v) == TOY._is_qr_euler(v)
+
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ValueError):
+            jacobi(3, 10)
+
+
+def _scalar_proof(rng_seed=b"fastexp-batch"):
+    rng = DeterministicRng(rng_seed)
+    scheme = AtomElGamal(TOY)
+    keys = ElGamalKeyPair.generate(TOY, rng)
+    inputs = []
+    for i in range(6):
+        ct, _ = scheme.encrypt(keys.public, TOY.encode(b"m%d" % i), rng)
+        inputs.append(ct)
+    outputs, perm, rands = scheme.shuffle(keys.public, inputs, rng)
+    proof = prove_shuffle(TOY, keys.public, inputs, outputs, perm, rands, rounds=6, rng=rng)
+    return keys.public, inputs, outputs, proof
+
+
+class TestBatchedVerifier:
+    def test_batched_accepts_honest_proof(self):
+        pk, inputs, outputs, proof = _scalar_proof()
+        assert verify_shuffle(TOY, pk, inputs, outputs, proof, rounds=6, batched=True)
+        assert verify_shuffle(TOY, pk, inputs, outputs, proof, rounds=6, batched=False)
+
+    def test_batched_rejects_swapped_outputs(self):
+        pk, inputs, outputs, proof = _scalar_proof()
+        tampered = list(outputs)
+        tampered[0], tampered[1] = tampered[1], tampered[0]
+        assert not verify_shuffle(TOY, pk, inputs, tampered, proof, rounds=6)
+
+    def test_batched_rejects_tampered_opening(self):
+        pk, inputs, outputs, proof = _scalar_proof()
+        rnd0 = proof.rounds[0]
+        bad_rands = (rnd0.opened_rands[0] + 1,) + rnd0.opened_rands[1:]
+        bad_round = ShuffleRound(
+            intermediate=rnd0.intermediate,
+            opened_perm=rnd0.opened_perm,
+            opened_rands=bad_rands,
+        )
+        bad = type(proof)(
+            rounds=(bad_round,) + proof.rounds[1:],
+            challenge_bits=proof.challenge_bits,
+        )
+        # The TOY group order is ~63 bits, far below WEIGHT_BITS, so a
+        # single corrupted opening cannot hide in the linear combination.
+        assert not verify_shuffle(TOY, pk, inputs, outputs, bad, rounds=6)
+        assert not verify_shuffle(TOY, pk, inputs, outputs, bad, rounds=6, batched=False)
+
+    def test_batched_rejects_replaced_element(self, rng):
+        pk, inputs, outputs, proof = _scalar_proof()
+        scheme = AtomElGamal(TOY)
+        forged, _ = scheme.encrypt(pk, TOY.encode(b"evil"), rng)
+        tampered = list(outputs)
+        tampered[0] = forged
+        assert not verify_shuffle(TOY, pk, inputs, tampered, proof, rounds=6)
+
+    def test_batched_rejects_order2_coset_tampering(self):
+        # Regression: a sign-flipped component (x -> p - x) lies in
+        # Z_p^* but outside the QR subgroup; without the Jacobi checks
+        # it survived the linear combination whenever its weight was
+        # even (~1/2 per round).  Must now fail deterministically.
+        from repro.crypto.elgamal import AtomCiphertext
+        from repro.crypto.groups import GroupElement
+        from repro.crypto.shuffle_proof import batch_rerand_check
+
+        rng = DeterministicRng(b"coset")
+        scheme = AtomElGamal(TOY)
+        keys = ElGamalKeyPair.generate(TOY, rng)
+        sources, targets, rands = [], [], []
+        for i in range(4):
+            ct, _ = scheme.encrypt(keys.public, TOY.encode(b"s%d" % i), rng)
+            r = TOY.random_scalar(rng)
+            sources.append(ct)
+            targets.append(scheme.rerandomize(keys.public, ct, randomness=r))
+            rands.append(r)
+        assert batch_rerand_check(TOY, keys.public, sources, targets, rands)
+        for attr in ("R", "c"):
+            flipped_el = GroupElement(
+                TOY.p - getattr(targets[0], attr).value, TOY
+            )
+            flipped = AtomCiphertext(
+                R=flipped_el if attr == "R" else targets[0].R,
+                c=flipped_el if attr == "c" else targets[0].c,
+                Y=None,
+            )
+            tampered = [flipped] + targets[1:]
+            for seed in (b"w1", b"w2", b"w3", b"w4"):
+                assert not batch_rerand_check(
+                    TOY, keys.public, sources, tampered, rands,
+                    rng=DeterministicRng(seed),
+                ), f"sign-flipped {attr} accepted"
+
+    def test_weight_rng_reproducible(self):
+        pk, inputs, outputs, proof = _scalar_proof()
+        assert verify_shuffle(
+            TOY, pk, inputs, outputs, proof, rounds=6,
+            weight_rng=DeterministicRng(b"weights"),
+        )
+
+
+class TestBatchedVectorVerifier:
+    def _vector_proof(self):
+        rng = DeterministicRng(b"fastexp-vector")
+        scheme = AtomElGamal(TEST)
+        keys = ElGamalKeyPair.generate(TEST, rng)
+        vectors = []
+        for i in range(4):
+            vec, _ = encrypt_vector(scheme, keys.public, b"payload-%d" % i * 3, rng)
+            vectors.append(vec)
+        outputs, perm, rands = shuffle_vectors(scheme, keys.public, vectors, rng)
+        proof = prove_vector_shuffle(
+            scheme, keys.public, vectors, outputs, perm, rands, rounds=5, rng=rng
+        )
+        return scheme, keys.public, vectors, outputs, proof
+
+    def test_accepts_and_matches_elementwise(self):
+        scheme, pk, inputs, outputs, proof = self._vector_proof()
+        assert verify_vector_shuffle(scheme, pk, inputs, outputs, proof, rounds=5)
+        assert verify_vector_shuffle(
+            scheme, pk, inputs, outputs, proof, rounds=5, batched=False
+        )
+
+    def test_rejects_tampered_vector(self):
+        scheme, pk, inputs, outputs, proof = self._vector_proof()
+        tampered = list(outputs)
+        tampered[0], tampered[1] = tampered[1], tampered[0]
+        assert not verify_vector_shuffle(scheme, pk, inputs, tampered, proof, rounds=5)
+        assert not verify_vector_shuffle(
+            scheme, pk, inputs, tampered, proof, rounds=5, batched=False
+        )
