@@ -51,6 +51,73 @@ def cmd_round(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+#: demo schedule exercising the full robustness surface: a
+#: beyond-threshold group stall (buddy recovery), a tampering server
+#: (trap catch), and a double-writing malicious user (blame).
+DEFAULT_STREAM_FAULTS = (
+    "r2.i1:fail-group:0:2;"
+    "r5:tamper-group:1:0:replace_one;"
+    "r8:user:duplicate_inner@1"
+)
+
+
+def cmd_run_stream(args: argparse.Namespace) -> int:
+    """Run a multi-round pipelined stream under a fault schedule."""
+    from repro.core import DeploymentConfig, FaultSchedule, StreamConfig, StreamEngine
+
+    config = DeploymentConfig(
+        num_servers=max(args.groups * args.group_size, 2 * args.group_size),
+        num_groups=args.groups,
+        group_size=args.group_size,
+        variant=args.variant,
+        mode=args.mode,
+        h=args.h,
+        iterations=args.iterations,
+        message_size=args.message_size,
+        crypto_group=args.crypto_group,
+        parallelism=args.parallelism,
+    )
+    from repro.core.pipeline import FaultScheduleError
+
+    try:
+        schedule = FaultSchedule.parse(args.fault_schedule)
+        if args.variant != "trap" and schedule.has_user_events():
+            # User attacks abuse trap submissions; keep the schedule's
+            # churn/tampering events when the variant cannot host them.
+            schedule.events = [ev for ev in schedule.events if ev.action != "user"]
+            print(f"(dropping user-attack events: {args.variant} variant)")
+        engine = StreamEngine(
+            config,
+            schedule,
+            StreamConfig(
+                rounds=args.rounds,
+                users_per_round=args.users,
+                seed=args.seed.encode(),
+            ),
+        )
+    except (FaultScheduleError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if schedule.events:
+        print("fault schedule:")
+        for event in schedule.events:
+            print(f"  {event.describe()}")
+    try:
+        report = engine.run()
+    except FaultScheduleError as exc:
+        # e.g. an event addressing a server id that never existed —
+        # only resolvable once the fleet is live
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format_table())
+    overlapped = len(report.overlapped_rounds())
+    print(
+        f"pipelining: intake of round r+1 overlapped round r's mixing in "
+        f"{overlapped}/{max(1, len(report.rounds) - 1)} eligible rounds"
+    )
+    return 0 if report.ok else 1
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run the calibrated performance simulator."""
     from repro.sim import AtomSimulator, SimConfig
@@ -129,6 +196,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for mixing one layer's groups (1 = serial)",
     )
     p_round.set_defaults(func=cmd_round)
+
+    p_stream = sub.add_parser(
+        "run-stream",
+        help="run N consecutive pipelined rounds under a fault schedule",
+    )
+    p_stream.add_argument("--rounds", type=int, default=20)
+    p_stream.add_argument("--users", type=int, default=4)
+    p_stream.add_argument("--groups", type=int, default=2)
+    p_stream.add_argument("--group-size", type=int, default=4)
+    p_stream.add_argument("--h", type=int, default=2)
+    p_stream.add_argument("--mode", choices=["anytrust", "manytrust"], default="manytrust")
+    p_stream.add_argument("--variant", choices=["basic", "nizk", "trap"], default="trap")
+    p_stream.add_argument("--iterations", type=int, default=4)
+    p_stream.add_argument("--message-size", type=int, default=24)
+    p_stream.add_argument("--crypto-group", default="TOY")
+    p_stream.add_argument("--parallelism", type=int, default=1)
+    # default seed chosen so the demo schedule's round-5 tampering is
+    # caught by the traps (an honest coin otherwise evades w.p. 1/2)
+    p_stream.add_argument("--seed", default="atom-stream")
+    p_stream.add_argument(
+        "--fault-schedule",
+        default=DEFAULT_STREAM_FAULTS,
+        help="semicolon-separated fault events "
+        "(e.g. 'r2.i1:fail-group:0:2;r5:tamper-group:1:0:replace_one;"
+        "r8:user:duplicate_inner@1'); pass '' for a fault-free stream",
+    )
+    p_stream.set_defaults(func=cmd_run_stream)
 
     p_sim = sub.add_parser("simulate", help="run the performance simulator")
     p_sim.add_argument("--servers", type=int, default=1024)

@@ -19,10 +19,19 @@ Layered as the paper presents it:
 - :mod:`repro.core.faults` — many-trust churn tolerance and buddy-group
   recovery (§4.5).
 - :mod:`repro.core.blame` — malicious-user identification (§4.6).
+- :mod:`repro.core.pipeline` — the multi-round stream engine: persistent
+  deployments, pipelined intake, fault schedules, recovery and blame
+  integrated into a running stream (§4.5–§4.7).
 """
 
 from repro.core.protocol import AtomDeployment, DeploymentConfig, RoundResult
 from repro.core.client import Client
+from repro.core.pipeline import (
+    FaultSchedule,
+    StreamConfig,
+    StreamEngine,
+    StreamReport,
+)
 from repro.core.server import AtomServer, Behavior
 
 __all__ = [
@@ -32,4 +41,8 @@ __all__ = [
     "Client",
     "AtomServer",
     "Behavior",
+    "FaultSchedule",
+    "StreamConfig",
+    "StreamEngine",
+    "StreamReport",
 ]

@@ -70,6 +70,11 @@ class BuddySystem:
     def escrows_for(self, gid: int) -> List[BuddyEscrow]:
         return self._escrows.get(gid, [])
 
+    def drop_escrows(self, gid: int) -> None:
+        """Discard a group's escrows (e.g. when an epoch rekeys: stale
+        sub-shares of a retired key must not restore a new-key group)."""
+        self._escrows.pop(gid, None)
+
     def recover(
         self,
         stalled: GroupContext,

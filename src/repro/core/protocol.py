@@ -149,6 +149,12 @@ class Round:
         self.topology = topology
         self.trustees = trustees
         self.payload_size = payload_size
+        #: this round's attacker-payload builder (trap variant).  Kept on
+        #: the Round rather than only on the shared contexts: a stream
+        #: reuses one context list across rounds whose trustee keys
+        #: differ, so each mixing layer re-installs its own round's
+        #: forger before running (see MixingRun.run_layer).
+        self.forger: Optional[InnerPayloadForger] = None
         #: per-gid collected vectors awaiting mixing
         self.holdings: Dict[int, List[CiphertextVector]] = {
             ctx.gid: [] for ctx in contexts
@@ -214,10 +220,24 @@ class AtomDeployment:
 
     # -- round lifecycle ---------------------------------------------------
 
-    def start_round(self, round_id: int = 0, rng: Optional[DeterministicRng] = None) -> Round:
-        """Form groups, build the topology, and (trap variant) trustees."""
+    def start_round(
+        self,
+        round_id: int = 0,
+        rng: Optional[DeterministicRng] = None,
+        contexts: Optional[List[GroupContext]] = None,
+    ) -> Round:
+        """Form groups, build the topology, and (trap variant) trustees.
+
+        Passing ``contexts`` reuses existing groups — their keys, DVSS
+        shares, and warm fastexp tables — instead of forming fresh ones.
+        The stream engine (:mod:`repro.core.pipeline`) uses this to run
+        many consecutive rounds without per-round group setup; trustees
+        are still fresh per round (their key is released or deleted at
+        every exit).
+        """
         cfg = self.config
-        contexts = self.directory.form_groups(round_id, cfg.num_groups, rng)
+        if contexts is None:
+            contexts = self.directory.form_groups(round_id, cfg.num_groups, rng)
         if cfg.topology == "square":
             topology = SquareNetwork(width=cfg.num_groups, depth=cfg.iterations)
         elif cfg.topology == "butterfly":
@@ -232,16 +252,17 @@ class AtomDeployment:
             if cfg.variant == "trap"
             else None
         )
+        rnd = Round(round_id, contexts, topology, trustees, self.spec.payload_size)
         if trustees is not None:
             # Arm the strongest modeled attacker: substituted ciphertexts
             # are *valid* inner ciphertexts to the trustees (so only the
             # trap mechanism can catch the substitution — §4.4 analysis).
-            forger = InnerPayloadForger(
+            rnd.forger = InnerPayloadForger(
                 self.group, trustees.public_key, cfg.message_size, self.spec.payload_size
             )
             for ctx in contexts:
-                ctx.forge_payload_fn = forger
-        return Round(round_id, contexts, topology, trustees, self.spec.payload_size)
+                ctx.forge_payload_fn = rnd.forger
+        return rnd
 
     def messages_per_group(self, num_users: int) -> int:
         """Entry-load per group, counting trap doubling."""
@@ -387,90 +408,26 @@ class AtomDeployment:
 
     # -- mixing ------------------------------------------------------------------
 
+    def begin_mixing(
+        self, rnd: Round, rng: Optional[DeterministicRng] = None
+    ) -> "MixingRun":
+        """Start the T mixing iterations as a stepwise :class:`MixingRun`.
+
+        The stream engine drives the run layer by layer so fault events
+        can fire and next-round intake can interleave between layers;
+        :meth:`run_round` drives it straight through.
+        """
+        return MixingRun(self, rnd, rng)
+
     def run_round(self, rnd: Round, rng: Optional[DeterministicRng] = None) -> RoundResult:
         """Execute T mixing iterations and the exit protocol."""
-        result = RoundResult(round_id=rnd.round_id)
-        cfg = self.config
-        topo = rnd.topology
-        verify = cfg.variant == "nizk"
-
-        counts = {gid: len(v) for gid, v in rnd.holdings.items()}
-        if len(set(counts.values())) > 1:
-            raise ValueError(f"unbalanced entry load: {counts}")
-
-        holdings = {gid: list(vs) for gid, vs in rnd.holdings.items()}
-        pool = self._mixing_pool() if len(rnd.contexts) > 1 else None
+        run = self.begin_mixing(rnd, rng)
         try:
-            for layer in range(topo.depth):
-                last = layer == topo.depth - 1
-                incoming: Dict[int, List[CiphertextVector]] = {
-                    ctx.gid: [] for ctx in rnd.contexts
-                }
-                # Gather this layer's independent per-group mix tasks.
-                tasks = []
-                for ctx in rnd.contexts:
-                    vectors = holdings[ctx.gid]
-                    if not vectors:
-                        continue
-                    if last:
-                        next_keys: List = [None]
-                        successors = [ctx.gid]
-                    else:
-                        successors = topo.successors(layer, ctx.gid)
-                        next_keys = [
-                            rnd.context(succ).public_key for succ in successors
-                        ]
-                    tasks.append((ctx, vectors, next_keys, successors))
-
-                # Opt-in parallel path: independent groups mix across
-                # worker processes (Fig. 7 horizontal scaling); groups
-                # carrying in-process adversarial hooks stay serial.
-                results_by_gid: Dict[int, Tuple[list, MixAudit]] = {}
-                if pool is not None:
-                    eligible = [t for t in tasks if t[0].parallel_safe()]
-                    if len(eligible) > 1:
-                        mixed = mix_layer_parallel(
-                            pool,
-                            [(ctx, vec, keys) for ctx, vec, keys, _ in eligible],
-                            use_reenc_proofs=verify,
-                            rng=rng,
-                        )
-                        for gid, batches, audit in mixed:
-                            results_by_gid[gid] = (batches, audit)
-
-                for ctx, vectors, next_keys, successors in tasks:
-                    if ctx.gid in results_by_gid:
-                        batches, audit = results_by_gid[ctx.gid]
-                    elif verify:
-                        batches, audit = ctx.mix_with_reenc_proofs(
-                            vectors, next_keys, rng
-                        )
-                    else:
-                        batches, audit = ctx.mix(vectors, next_keys, verify=False, rng=rng)
-                    result.audits.append(audit)
-                    result.bytes_sent_total += audit.bytes_sent
-                    for succ, batch in zip(successors, batches):
-                        incoming[succ].extend(batch)
-                holdings = incoming
-        except ProtocolAbort as abort:
-            result.aborted = True
-            result.abort_reason = str(abort)
-            result.offending_groups = [abort.gid]
-            return result
-        except GroupStalled as stalled:
-            result.aborted = True
-            result.abort_reason = str(stalled)
-            result.offending_groups = [stalled.gid]
-            return result
-
-        # Exit: holdings now map exit gid -> fully decrypted payload vectors.
-        payloads_by_gid = {
-            gid: [plaintext_of(rnd.context(gid).scheme, vec) for vec in vectors]
-            for gid, vectors in holdings.items()
-        }
-        if cfg.variant == "trap":
-            return self._trap_exit(rnd, payloads_by_gid, result)
-        return self._plain_exit(payloads_by_gid, result)
+            while not run.done:
+                run.run_layer()
+        except (ProtocolAbort, GroupStalled) as failure:
+            return run.abort(failure)
+        return run.finish()
 
     # -- exit protocols -------------------------------------------------------------
 
@@ -577,3 +534,152 @@ class AtomDeployment:
     def blame(self, rnd: Round) -> BlameReport:
         """Run §4.6 malicious-user identification after an aborted round."""
         return identify_malicious_users(rnd.contexts, rnd.trap_submissions)
+
+
+class MixingRun:
+    """Stepwise executor of one round's T mixing iterations.
+
+    One :meth:`run_layer` call mixes one layer of the permutation
+    network.  Holdings advance only when a layer completes, so a layer
+    that raises :class:`GroupStalled` leaves the run's state untouched —
+    the caller can recover the stalled group through its buddies (§4.5),
+    swap the restored context into ``rnd.contexts``, and call
+    :meth:`run_layer` again to retry the same layer.  After the final
+    layer, :meth:`finish` runs the exit protocol.
+    """
+
+    def __init__(
+        self,
+        deployment: AtomDeployment,
+        rnd: Round,
+        rng: Optional[DeterministicRng] = None,
+    ):
+        counts = {gid: len(v) for gid, v in rnd.holdings.items()}
+        if len(set(counts.values())) > 1:
+            raise ValueError(f"unbalanced entry load: {counts}")
+        self.deployment = deployment
+        self.rnd = rnd
+        self.rng = rng
+        self.layer = 0
+        self.result = RoundResult(round_id=rnd.round_id)
+        self._holdings: Dict[int, List[CiphertextVector]] = {
+            gid: list(vs) for gid, vs in rnd.holdings.items()
+        }
+        self._pool = (
+            deployment._mixing_pool() if len(rnd.contexts) > 1 else None
+        )
+
+    @property
+    def done(self) -> bool:
+        return self.layer >= self.rnd.topology.depth
+
+    @property
+    def remaining_layers(self) -> int:
+        return self.rnd.topology.depth - self.layer
+
+    def run_layer(self) -> None:
+        """Mix one layer across all groups (Algorithm 1/2).
+
+        Raises :class:`ProtocolAbort` or :class:`GroupStalled` without
+        advancing state; audits and holdings commit only on success.
+        Tamper budgets spent inside a failed layer are restored too —
+        the layer's outputs are discarded, so a tampering that happened
+        in them must not silently count as used.
+        """
+        if self.done:
+            raise RuntimeError("all mixing layers already complete")
+        budgets = [
+            (server, server.tamper_budget)
+            for ctx in self.rnd.contexts
+            for server in ctx.servers
+            if server.is_malicious
+        ]
+        try:
+            self._run_layer_once()
+        except (ProtocolAbort, GroupStalled):
+            for server, budget in budgets:
+                server.tamper_budget = budget
+            raise
+
+    def _run_layer_once(self) -> None:
+        rnd, rng = self.rnd, self.rng
+        topo = rnd.topology
+        verify = self.deployment.config.variant == "nizk"
+        last = self.layer == topo.depth - 1
+
+        # Streams reuse one context list across rounds with per-round
+        # trustee keys; pin this round's forger before mixing.
+        if rnd.forger is not None:
+            for ctx in rnd.contexts:
+                ctx.forge_payload_fn = rnd.forger
+
+        incoming: Dict[int, List[CiphertextVector]] = {
+            ctx.gid: [] for ctx in rnd.contexts
+        }
+        # Gather this layer's independent per-group mix tasks.
+        tasks = []
+        for ctx in rnd.contexts:
+            vectors = self._holdings[ctx.gid]
+            if not vectors:
+                continue
+            if last:
+                next_keys: List = [None]
+                successors = [ctx.gid]
+            else:
+                successors = topo.successors(self.layer, ctx.gid)
+                next_keys = [rnd.context(succ).public_key for succ in successors]
+            tasks.append((ctx, vectors, next_keys, successors))
+
+        # Opt-in parallel path: independent groups mix across worker
+        # processes (Fig. 7 horizontal scaling); groups carrying
+        # in-process adversarial hooks stay serial.
+        results_by_gid: Dict[int, Tuple[list, MixAudit]] = {}
+        if self._pool is not None:
+            eligible = [t for t in tasks if t[0].parallel_safe()]
+            if len(eligible) > 1:
+                mixed = mix_layer_parallel(
+                    self._pool,
+                    [(ctx, vec, keys) for ctx, vec, keys, _ in eligible],
+                    use_reenc_proofs=verify,
+                    rng=rng,
+                )
+                for gid, batches, audit in mixed:
+                    results_by_gid[gid] = (batches, audit)
+
+        layer_audits: List[MixAudit] = []
+        for ctx, vectors, next_keys, successors in tasks:
+            if ctx.gid in results_by_gid:
+                batches, audit = results_by_gid[ctx.gid]
+            elif verify:
+                batches, audit = ctx.mix_with_reenc_proofs(vectors, next_keys, rng)
+            else:
+                batches, audit = ctx.mix(vectors, next_keys, verify=False, rng=rng)
+            layer_audits.append(audit)
+            for succ, batch in zip(successors, batches):
+                incoming[succ].extend(batch)
+
+        for audit in layer_audits:
+            self.result.audits.append(audit)
+            self.result.bytes_sent_total += audit.bytes_sent
+        self._holdings = incoming
+        self.layer += 1
+
+    def abort(self, failure: RuntimeError) -> RoundResult:
+        """Record an unrecovered :class:`ProtocolAbort`/:class:`GroupStalled`."""
+        self.result.aborted = True
+        self.result.abort_reason = str(failure)
+        self.result.offending_groups = [failure.gid]
+        return self.result
+
+    def finish(self) -> RoundResult:
+        """Run the exit protocol over the fully mixed holdings."""
+        if not self.done:
+            raise RuntimeError(f"{self.remaining_layers} mixing layers remain")
+        rnd = self.rnd
+        payloads_by_gid = {
+            gid: [plaintext_of(rnd.context(gid).scheme, vec) for vec in vectors]
+            for gid, vectors in self._holdings.items()
+        }
+        if self.deployment.config.variant == "trap":
+            return self.deployment._trap_exit(rnd, payloads_by_gid, self.result)
+        return self.deployment._plain_exit(payloads_by_gid, self.result)

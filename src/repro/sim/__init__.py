@@ -20,9 +20,17 @@ large-scale experiment:
 - :mod:`repro.sim.events` — a small discrete-event engine.
 - :mod:`repro.sim.runner` — end-to-end round simulation over the full
   topology (Figures 9–11, Table 12, bandwidth accounting).
+- :mod:`repro.sim.pipeline` — §4.7 pipelined scheduling: the analytic
+  throughput model, plus :func:`reconcile_with_engine` checking it
+  against the real stream engine's measured intake/mix overlap.
 """
 
 from repro.sim.costmodel import PrimitiveCosts, measure_costs
+from repro.sim.pipeline import (
+    PipelinedAtomSimulator,
+    PipelineResult,
+    reconcile_with_engine,
+)
 from repro.sim.machines import Fleet, MachineSpec, amdahl_speedup
 from repro.sim.network import NetworkModel
 from repro.sim.mixnet import GroupMixModel, group_setup_latency
@@ -40,4 +48,7 @@ __all__ = [
     "AtomSimulator",
     "SimConfig",
     "SimResult",
+    "PipelinedAtomSimulator",
+    "PipelineResult",
+    "reconcile_with_engine",
 ]

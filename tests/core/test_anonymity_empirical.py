@@ -7,10 +7,16 @@ import pytest
 
 from repro.analysis.anonymity import chi_squared_uniformity
 from repro.core import AtomDeployment, DeploymentConfig
+from repro.crypto.groups import DeterministicRng
 
 
 def run_round_permutation(trial: int) -> list:
-    """Run a tiny real round; return where each input landed."""
+    """Run a tiny real round; return where each input landed.
+
+    The mixing shuffles draw from a per-trial DeterministicRng, so the
+    sampled permutations — and with them the chi-squared statistic
+    below — are fixed across CI runs instead of a fresh tail-risk draw.
+    """
     config = DeploymentConfig(
         num_servers=4,
         num_groups=2,
@@ -22,24 +28,25 @@ def run_round_permutation(trial: int) -> list:
         seed=b"anon-%d" % trial,
     )
     dep = AtomDeployment(config)
-    rnd = dep.start_round(trial)
+    rng = DeterministicRng(b"anon-perm-%d" % trial)
+    rnd = dep.start_round(trial, rng)
     msgs = [bytes([65 + i]) for i in range(4)]
     for i, m in enumerate(msgs):
         dep.submit_plain(rnd, m, entry_gid=i % 2)
-    result = dep.run_round(rnd)
+    result = dep.run_round(rnd, rng)
     assert result.ok
     return [result.messages.index(m) for m in msgs]
 
 
 @pytest.mark.slow
 def test_output_permutation_uniform():
-    """Chi-squared over repeated full protocol runs."""
+    """Chi-squared over repeated (seeded) full protocol runs."""
     perms = [run_round_permutation(t) for t in range(120)]
     stat, dof = chi_squared_uniformity(perms)
     # Uniform data concentrates near dof; identity-like routing scores
     # in the hundreds (see tests/analysis for the detector's power).
-    # 3.0*dof keeps that power while dropping the false-failure rate
-    # from ~3% (measured at the old 2.0*dof bound) to ~1e-4.
+    # The 3.0*dof margin documents the headroom; with seeded trials the
+    # statistic is a single fixed value well inside it.
     assert stat < 3.0 * dof, f"chi2 {stat:.1f} vs dof {dof}"
 
 

@@ -1,0 +1,378 @@
+"""End-to-end tests for the multi-round stream engine (§4.5–§4.7).
+
+Everything here is seeded: the engine threads one DeterministicRng
+through client flips, shuffles, and key generation, so trap-catch
+coin flips and blame outcomes are reproducible.
+"""
+
+import pytest
+
+from repro.core import DeploymentConfig, FaultSchedule, StreamConfig, StreamEngine
+from repro.core.pipeline import FaultEvent, FaultScheduleError
+from repro.core.server import Behavior
+
+
+def stream_config(**overrides):
+    base = dict(
+        num_servers=8,
+        num_groups=2,
+        group_size=4,
+        variant="trap",
+        mode="manytrust",
+        h=2,
+        iterations=4,
+        message_size=16,
+        crypto_group="TOY",
+        nizk_rounds=4,
+    )
+    base.update(overrides)
+    return DeploymentConfig(**base)
+
+
+def expected_messages(report, users=4):
+    for stats in report.rounds:
+        assert sorted(stats.messages) == sorted(
+            f"r{stats.round_id}u{i}".encode() for i in range(users)
+        ), f"round {stats.round_id} lost or corrupted messages"
+
+
+@pytest.mark.fast
+class TestFaultScheduleParsing:
+    def test_round_trip(self):
+        spec = (
+            "r2.i1:fail-group:0:2;r5:tamper-group:1:0:replace_one;"
+            "r8:user:duplicate_inner@1;r3:fail:7;r4:recover:7;"
+            "r6:tamper:2:bad_shuffle"
+        )
+        schedule = FaultSchedule.parse(spec)
+        assert len(schedule.events) == 6
+        assert ";".join(ev.describe() for ev in schedule.events) == spec
+
+    def test_iteration_granularity(self):
+        schedule = FaultSchedule.parse("r3.i2:fail:1")
+        assert schedule.server_events(3, 2) == [
+            FaultEvent(3, "fail", 1, iteration=2)
+        ]
+        assert schedule.server_events(3, None) == []
+        assert schedule.server_events(2, 2) == []
+
+    def test_user_events_filtered_by_round(self):
+        schedule = FaultSchedule.parse("r4:user:two_traps@0")
+        assert schedule.user_events(4)[0].attack == "two_traps"
+        assert schedule.user_events(3) == []
+        assert schedule.server_events(4, None) == []
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "x3:fail:1",             # missing round prefix
+            "r3:explode:1",          # unknown action
+            "r3:tamper:1:nonsense",  # unknown behavior
+            "r3:user:phish@0",       # unknown attack
+            "r3:fail-group:0",       # missing count
+            "r:fail:1",              # missing round number
+        ],
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule.parse(bad)
+
+    def test_user_attack_requires_trap_variant(self):
+        schedule = FaultSchedule.parse("r1:user:two_traps@0")
+        with pytest.raises(FaultScheduleError):
+            StreamEngine(stream_config(variant="basic"), schedule)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "r1:fail-group:9:2",           # no group 9
+            "r1:user:two_traps@7",         # no group 7
+            "r1:tamper-group:0:9:replace_one",  # no member position 9
+        ],
+    )
+    def test_out_of_range_targets_rejected_at_construction(self, spec):
+        with pytest.raises(FaultScheduleError):
+            StreamEngine(stream_config(), FaultSchedule.parse(spec))
+
+    def test_unknown_server_id_fails_cleanly_at_runtime(self):
+        engine = StreamEngine(
+            stream_config(),
+            FaultSchedule.parse("r0:fail:99"),
+            StreamConfig(rounds=1, users_per_round=4, seed=b"badsrv"),
+        )
+        with pytest.raises(FaultScheduleError, match="unknown server 99"):
+            engine.run()
+
+
+class TestHonestStream:
+    def test_stream_delivers_every_round(self):
+        engine = StreamEngine(
+            stream_config(),
+            stream=StreamConfig(rounds=3, users_per_round=4, seed=b"honest"),
+        )
+        report = engine.run()
+        assert report.ok
+        assert len(report.rounds) == 3
+        expected_messages(report)
+
+    def test_contexts_and_keys_reused_across_rounds(self):
+        """The stream's tentpole reuse: one group-key epoch, one pool."""
+        engine = StreamEngine(
+            stream_config(),
+            stream=StreamConfig(rounds=3, users_per_round=4, seed=b"reuse"),
+        )
+        keys = []
+        original_start = engine.deployment.start_round
+
+        def spying_start(round_id=0, rng=None, contexts=None):
+            rnd = original_start(round_id, rng=rng, contexts=contexts)
+            keys.append(tuple(ctx.public_key for ctx in rnd.contexts))
+            return rnd
+
+        engine.deployment.start_round = spying_start
+        report = engine.run()
+        assert report.ok
+        assert len(set(keys)) == 1, "group keys must persist across the epoch"
+
+    def test_intake_overlaps_previous_mixing(self):
+        engine = StreamEngine(
+            stream_config(),
+            stream=StreamConfig(rounds=4, users_per_round=4, seed=b"overlap"),
+        )
+        report = engine.run()
+        assert report.ok
+        # Round 0 has nothing to hide inside; every later round's intake
+        # must have ridden inside the previous round's mix window.
+        for stats in report.rounds[1:]:
+            assert stats.overlap_s > 0, f"round {stats.round_id} never overlapped"
+            assert stats.overlap_s <= stats.intake_s + 1e-9
+
+    def test_overlap_can_be_disabled(self):
+        engine = StreamEngine(
+            stream_config(),
+            stream=StreamConfig(
+                rounds=3, users_per_round=4, seed=b"serial", overlap_intake=False
+            ),
+        )
+        report = engine.run()
+        assert report.ok
+        assert all(stats.overlap_s == 0 for stats in report.rounds)
+
+    def test_basic_variant_stream(self):
+        engine = StreamEngine(
+            stream_config(variant="basic"),
+            stream=StreamConfig(rounds=3, users_per_round=4, seed=b"basic"),
+        )
+        report = engine.run()
+        assert report.ok
+        expected_messages(report)
+
+
+class TestBuddyRecoveryMidStream:
+    def test_beyond_threshold_stall_recovers_without_rekeying(self):
+        """§4.5 end to end: kill h members mid-stream, assert the
+        restored group keeps the group key and the stream finishes."""
+        engine = StreamEngine(
+            stream_config(),
+            FaultSchedule.parse("r1.i1:fail-group:0:2"),
+            StreamConfig(rounds=4, users_per_round=4, seed=b"buddy"),
+        )
+        # establish the epoch up front to capture its keys before the
+        # stream's recovery mutates the shared context list
+        first_round = engine._new_round(0)
+        keys_before = [ctx.public_key for ctx in first_round.contexts]
+        report = engine.run()
+        assert report.ok
+        assert report.rounds[1].recovered_gids == [0]
+        assert report.total_recoveries == 1
+        expected_messages(report)
+        # same key, new servers: recovery did not rekey the group
+        assert engine.contexts[0].public_key == keys_before[0]
+        assert all(not s.failed for s in engine.contexts[0].servers)
+
+    def test_within_threshold_churn_needs_no_recovery(self):
+        """h-1 fail-stops are absorbed by the threshold scheme alone."""
+        engine = StreamEngine(
+            stream_config(),
+            FaultSchedule.parse("r1.i1:fail-group:0:1"),
+            StreamConfig(rounds=3, users_per_round=4, seed=b"churn"),
+        )
+        report = engine.run()
+        assert report.ok
+        assert report.total_recoveries == 0
+        expected_messages(report)
+
+    def test_discarded_layer_restores_tamper_budget(self):
+        """A tampering spent inside a layer that then stalls is wiped
+        with the layer's outputs; the budget must come back so the
+        scheduled fault still happens on the retried layer."""
+        from repro.core import AtomDeployment
+
+        dep = AtomDeployment(stream_config())
+        rnd = dep.start_round(0)
+        tamperer = rnd.contexts[0].servers[0]
+        tamperer.behavior = Behavior.REPLACE_ONE
+        for i in range(4):
+            dep.submit_trap(rnd, f"m{i}".encode(), entry_gid=i % 2)
+        dep.pad_round(rnd)
+        # group 1 (mixed after group 0 within the layer) stalls
+        for server in rnd.contexts[1].servers[:3]:
+            server.fail()
+        run = dep.begin_mixing(rnd)
+        with pytest.raises(Exception, match="alive"):
+            run.run_layer()
+        assert tamperer.tamper_budget == 1, (
+            "budget spent in the discarded layer must be restored"
+        )
+        dep.close()
+
+    def test_anytrust_stall_is_fatal(self):
+        """No buddy escrow in anytrust mode: a stall ends the stream."""
+        engine = StreamEngine(
+            stream_config(mode="anytrust", h=1, group_size=2, num_servers=6),
+            FaultSchedule.parse("r1.i1:fail-group:0:1"),
+            StreamConfig(rounds=3, users_per_round=4, seed=b"fatal"),
+        )
+        with pytest.raises(RuntimeError, match="no buddy escrow"):
+            engine.run()
+
+
+class TestAdversarialStream:
+    def test_trap_catch_blame_and_retry_end_to_end(self):
+        """The PR's headline scenario: a tampering server and a
+        double-writing user hit one stream.  The trap/dedup checks
+        catch both, blame names exactly the guilty user ids, and the
+        honest users' messages survive the retry rounds."""
+        engine = StreamEngine(
+            stream_config(),
+            FaultSchedule.parse(
+                "r1:tamper-group:1:0:replace_one;r2:user:duplicate_inner@1"
+            ),
+            # seed chosen so the round-1 tampering trips a trap (the
+            # honest coin evades with probability 1/2)
+            StreamConfig(rounds=4, users_per_round=4, seed=b"atom-stream"),
+        )
+        report = engine.run()
+        assert report.ok, [s.abort_reasons for s in report.rounds]
+
+        tampered = report.rounds[1]
+        assert tampered.attempts == 2, "tampering must abort the first attempt"
+        assert tampered.abort_reasons and not tampered.blamed_users, (
+            "server tampering aborts but blames no user"
+        )
+        assert tampered.rekeyed, (
+            "blame opened the entry-group keys even though it named "
+            "nobody; the epoch must still rekey"
+        )
+
+        double_write = report.rounds[2]
+        assert double_write.attempts == 2
+        malicious = tuple(sorted(engine._malicious_uids[2]))
+        assert double_write.blamed_users == malicious
+        assert len(malicious) == 2, "both sybil writers are guilty"
+        assert double_write.rekeyed, "blame reveals keys; the epoch must rekey"
+
+        # Every round's honest messages came through despite the retries.
+        expected_messages(report)
+
+    def test_nizk_tamper_abort_retries_clean(self):
+        """A nizk tamperer is named immediately; the retry must disarm
+        it (its budget was restored with the discarded layer) so the
+        honest rerun succeeds."""
+        engine = StreamEngine(
+            stream_config(variant="nizk"),
+            FaultSchedule.parse("r1:tamper-group:1:0:replace_one"),
+            StreamConfig(rounds=3, users_per_round=4, seed=b"nizk-retry"),
+        )
+        report = engine.run()
+        assert report.ok
+        assert report.rounds[1].attempts == 2
+        assert len(report.rounds[1].abort_reasons) == 1
+        expected_messages(report)
+
+    def test_buddy_without_quorum_fails_cleanly(self):
+        """If the buddy itself lost quorum, recovery must surface a
+        clear stream-stalled error, not a raw GroupStalled."""
+        engine = StreamEngine(
+            stream_config(),
+            FaultSchedule.parse("r1.i1:fail-group:0:2;r1.i1:fail-group:1:2"),
+            StreamConfig(rounds=3, users_per_round=4, seed=b"dual-stall"),
+        )
+        with pytest.raises(RuntimeError, match="buddy group 1 has only"):
+            engine.run()
+
+    def test_iteration_beyond_depth_rejected(self):
+        with pytest.raises(FaultScheduleError, match="has 4 layers"):
+            StreamEngine(stream_config(), FaultSchedule.parse("r2.i9:fail:0"))
+
+    def test_bad_commitment_user_blamed(self):
+        engine = StreamEngine(
+            stream_config(),
+            FaultSchedule.parse("r1:user:bad_commitment@0"),
+            StreamConfig(rounds=3, users_per_round=4, seed=b"commitment"),
+        )
+        report = engine.run()
+        assert report.ok
+        stats = report.rounds[1]
+        assert stats.blamed_users == tuple(engine._malicious_uids[1])
+        expected_messages(report)
+
+    def test_blame_rekeys_even_without_retry(self):
+        """Blame reveals the epoch's entry-group keys; the stream must
+        move to a fresh epoch whether or not the round is retried."""
+        engine = StreamEngine(
+            stream_config(),
+            FaultSchedule.parse("r1:user:duplicate_inner@1"),
+            StreamConfig(
+                rounds=4, users_per_round=4, seed=b"norekey-retry",
+                retry_aborted=False,
+            ),
+        )
+        report = engine.run()
+        aborted = report.rounds[1]
+        assert not aborted.ok and aborted.blamed_users
+        assert aborted.rekeyed, "revealed keys must force a fresh epoch"
+        assert all(s.ok for s in report.rounds[2:]), (
+            "the stream continues on the new epoch"
+        )
+
+    def test_two_traps_user_blamed(self):
+        engine = StreamEngine(
+            stream_config(),
+            FaultSchedule.parse("r1:user:two_traps@1"),
+            StreamConfig(rounds=3, users_per_round=4, seed=b"twotraps"),
+        )
+        report = engine.run()
+        assert report.ok
+        assert report.rounds[1].blamed_users == tuple(engine._malicious_uids[1])
+        expected_messages(report)
+
+
+@pytest.mark.slow
+class TestLongStreamAcceptance:
+    def test_twenty_rounds_with_full_fault_schedule(self):
+        """The PR acceptance scenario: >= 20 consecutive rounds under a
+        schedule with a beyond-threshold stall, a tampering server, and
+        a malicious user — recovery and blame both trigger, and intake
+        overlap shows up in the per-round wall clock."""
+        engine = StreamEngine(
+            stream_config(),
+            FaultSchedule.parse(
+                "r2.i1:fail-group:0:2;"
+                "r5:tamper-group:1:0:replace_one;"
+                "r8:user:duplicate_inner@1"
+            ),
+            # seed chosen so the round-5 tampering trips a trap under
+            # exactly this config's deterministic randomness stream
+            StreamConfig(rounds=20, users_per_round=4, seed=b"sosp17"),
+        )
+        report = engine.run()
+        assert report.ok
+        assert len(report.rounds) == 20
+        assert report.total_recoveries >= 1
+        assert report.total_blames >= 1
+        assert report.rounds[5].attempts == 2  # tamper caught under this seed
+        assert len(report.overlapped_rounds()) >= 15
+        expected_messages(report)
+        table = report.format_table()
+        assert "recovered=g0" in table and "blamed=" in table

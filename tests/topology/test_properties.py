@@ -1,9 +1,13 @@
 """Property-based tests on topology invariants (hypothesis)."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.topology import IteratedButterflyNetwork, SquareNetwork, route_batches
+
+# pure graph logic, no crypto: part of the sub-second smoke subset
+pytestmark = pytest.mark.fast
 
 settings_fast = settings(max_examples=30, deadline=None)
 
@@ -78,3 +82,77 @@ class TestRoutingProperties:
         assert len(batches) == beta
         assert sorted(sum(batches, [])) == items
         assert all(len(b) == per_batch for b in batches)
+
+
+def route_tokens(net, load):
+    """Push ``load`` distinct tokens per node through every forwarding
+    layer of ``net`` (the protocol engine's routing, minus the crypto);
+    returns the final per-node holdings."""
+    holdings = {
+        node: [(node, i) for i in range(load)] for node in range(net.width)
+    }
+    for layer in range(net.depth - 1):
+        incoming = {node: [] for node in range(net.width)}
+        for node in range(net.width):
+            batches = route_batches(holdings[node], net.beta)
+            for succ, batch in zip(net.successors(layer, node), batches):
+                incoming[succ].extend(batch)
+        holdings = incoming
+    return holdings
+
+
+class TestNetworksArePermutations:
+    """§2/§3: the network must neither lose nor duplicate messages, and
+    after T iterations any source must be able to reach any sink."""
+
+    @given(st.integers(1, 8), st.integers(2, 6), st.integers(1, 3))
+    @settings_fast
+    def test_square_routing_is_a_permutation(self, width, depth, mult):
+        net = SquareNetwork(width=width, depth=depth)
+        load = net.beta * mult  # divisible at every division step
+        holdings = route_tokens(net, load)
+        expected = {(node, i) for node in range(width) for i in range(load)}
+        routed = [token for batch in holdings.values() for token in batch]
+        assert len(routed) == len(expected), "message loss or duplication"
+        assert set(routed) == expected
+
+    @given(st.integers(1, 5), st.integers(1, 3), st.integers(1, 3))
+    @settings_fast
+    def test_butterfly_routing_is_a_permutation(self, log_width, reps, mult):
+        net = IteratedButterflyNetwork(log_width=log_width, repetitions=reps)
+        load = net.beta * mult
+        holdings = route_tokens(net, load)
+        expected = {
+            (node, i) for node in range(net.width) for i in range(load)
+        }
+        routed = [token for batch in holdings.values() for token in batch]
+        assert len(routed) == len(expected)
+        assert set(routed) == expected
+
+    @given(st.integers(2, 10), st.integers(2, 6), st.data())
+    @settings_fast
+    def test_square_full_connectivity_after_T(self, width, depth, data):
+        """Any source reaches every sink: beta = width links each layer
+        completely, so one forwarding layer already suffices."""
+        net = SquareNetwork(width=width, depth=depth)
+        source = data.draw(st.integers(0, width - 1))
+        reachable = {source}
+        for layer in range(net.depth - 1):
+            reachable = {
+                succ for node in reachable for succ in net.successors(layer, node)
+            }
+        assert reachable == set(range(width))
+
+    @given(st.integers(1, 5), st.integers(1, 3), st.data())
+    @settings_fast
+    def test_butterfly_full_connectivity_after_T(self, log_width, reps, data):
+        """After one full butterfly (log W stages) every source–sink
+        pair is connected, from *any* source and with any repetitions."""
+        net = IteratedButterflyNetwork(log_width=log_width, repetitions=reps)
+        source = data.draw(st.integers(0, net.width - 1))
+        reachable = {source}
+        for layer in range(net.depth - 1):
+            reachable = {
+                succ for node in reachable for succ in net.successors(layer, node)
+            }
+        assert reachable == set(range(net.width))
