@@ -1,0 +1,37 @@
+# One set of commands shared by CI (.github/workflows/ci.yml) and the
+# local verify recipe, so "passes locally" and "passes in CI" mean the
+# same thing.  Everything runs from the source tree via PYTHONPATH=src;
+# no install step is required (see pyproject.toml for the optional
+# editable install).
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test-fast test bench-smoke parity stream-smoke clean
+
+## Fast suite: everything but the slow-marked benchmarks/sweeps (~35 s).
+test-fast:
+	$(PYTEST) -q -m "not slow"
+
+## Full tier-1: tests/ AND benchmarks/, fail-fast — the gate this repo
+## is held to (~2 min).
+test:
+	$(PYTEST) -x -q
+
+## Benchmark smoke: regenerates BENCH_*.json at the repo root (the
+## fast-exponentiation engine and the MODP2048-vs-P256 backend
+## dimension); CI uploads the JSON as artifacts.
+bench-smoke:
+	$(PYTEST) -q -s benchmarks/test_fastexp_speedup.py
+
+## Cross-backend parity only (quick confidence after touching crypto/).
+parity:
+	$(PYTEST) -q tests/crypto/test_backend_parity.py tests/crypto/test_ec.py
+
+## End-to-end stream on the paper's curve with the demo fault schedule.
+stream-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli run-stream --rounds 6 --group p256
+
+clean:
+	rm -rf src/repro_atom.egg-info build .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

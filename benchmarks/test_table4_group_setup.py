@@ -4,6 +4,9 @@ Runs the real DVSS protocol at each paper group size on the TOY group
 (pure-Python big-int crypto; absolute numbers differ from the paper's
 P-256/Go) and checks the quadratic growth that Table 4 exhibits
 (~4x per size doubling), alongside the calibrated model's values.
+The backend dimension runs the small sizes on the real NIST P-256
+curve as well — same protocol, same quadratic shape, realistic
+per-operation constants.
 """
 
 import time
@@ -19,10 +22,10 @@ PAPER_MS = {4: 7.4, 8: 29.4, 16: 93.3, 32: 361.8, 64: 1432.1}
 SIZES = [4, 8, 16, 32, 64]
 
 
-def run_dvss(k: int, repeats: int = 1) -> float:
+def run_dvss(k: int, repeats: int = 1, group_name: str = "TOY") -> float:
     """Best-of-``repeats`` DVSS wall-clock (min damps scheduler noise,
     which dominates the sub-millisecond small-k runs)."""
-    group = get_group("TOY")
+    group = get_group(group_name)
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
@@ -32,14 +35,25 @@ def run_dvss(k: int, repeats: int = 1) -> float:
 
 
 @pytest.mark.parametrize(
-    "k",
-    [4, 8, 16, pytest.param(32, marks=pytest.mark.slow), pytest.param(64, marks=pytest.mark.slow)],
+    "backend,k",
+    [
+        ("TOY", 4),
+        ("TOY", 8),
+        ("TOY", 16),
+        pytest.param("TOY", 32, marks=pytest.mark.slow),
+        pytest.param("TOY", 64, marks=pytest.mark.slow),
+        ("P256", 4),
+        ("P256", 8),
+        pytest.param("P256", 16, marks=pytest.mark.slow),
+    ],
 )
-def test_group_setup(benchmark, k):
-    if k <= 16:
-        benchmark(lambda: run_dvss(k))
+def test_group_setup(benchmark, backend, k):
+    if k <= 16 and backend == "TOY":
+        benchmark(lambda: run_dvss(k, group_name=backend))
     else:
-        benchmark.pedantic(lambda: run_dvss(k), rounds=1, iterations=1)
+        benchmark.pedantic(
+            lambda: run_dvss(k, group_name=backend), rounds=1, iterations=1
+        )
 
 
 @pytest.mark.slow

@@ -1,6 +1,11 @@
-"""Legacy setup shim: the offline environment lacks the `wheel` package
-that PEP 660 editable installs require, so `python setup.py develop`
-(or `pip install -e . --no-build-isolation`) uses this instead."""
+"""Legacy setup shim kept alongside ``pyproject.toml``.
+
+Offline environments install with ``pip install -e .
+--no-build-isolation`` (needs ``setuptools >= 64`` and ``wheel``
+pre-installed; see pyproject.toml).  This shim keeps the historical
+``python setup.py develop`` escape hatch working for toolchains that
+predate PEP 660 editable installs.
+"""
 from setuptools import setup
 
 setup()

@@ -25,7 +25,7 @@ from repro.core import AtomDeployment, DeploymentConfig
 from repro.core.protocol import RoundResult
 from repro.crypto.aead import aead_decrypt, aead_encrypt
 from repro.crypto.elgamal import AtomElGamal, ElGamalKeyPair
-from repro.crypto.groups import DeterministicRng, Group
+from repro.crypto.groups import DeterministicRng, GroupBackend as Group
 from repro.crypto.kem import Cca2Ciphertext, _kdf
 
 #: The paper's smallest dialing message (§5): "as small as 80 bytes".
@@ -78,7 +78,7 @@ def open_dial(group: Group, recipient_key: "ElGamalKeyPair", sealed: bytes) -> b
     """Invert :func:`seal_dial` (raises if not addressed to us)."""
     from repro.crypto.aead import AeadCiphertext
 
-    width = (group.p.bit_length() + 7) // 8
+    width = group.element_bytes
     R = group.element(int.from_bytes(sealed[:width], "big"))
     key = _kdf(group, R, R ** recipient_key.secret)
     return aead_decrypt(key, AeadCiphertext.from_bytes(sealed[width:]))

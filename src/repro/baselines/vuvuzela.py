@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.elgamal import AtomElGamal, ElGamalKeyPair
-from repro.crypto.groups import DeterministicRng, Group
+from repro.crypto.groups import DeterministicRng, GroupBackend as Group
 from repro.crypto.kem import cca2_decrypt, cca2_encrypt
 
 #: Table 12: Vuvuzela dials a million users in ~0.5 minutes.

@@ -188,7 +188,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_round.add_argument("--variant", choices=["basic", "nizk", "trap"], default="trap")
     p_round.add_argument("--iterations", type=int, default=4)
     p_round.add_argument("--message-size", type=int, default=24)
-    p_round.add_argument("--crypto-group", default="TEST")
+    p_round.add_argument(
+        "--group",
+        "--crypto-group",
+        dest="crypto_group",
+        default="TEST",
+        help="group backend from the registry (e.g. toy, test, modp2048, p256)",
+    )
     p_round.add_argument(
         "--parallelism",
         type=int,
@@ -210,7 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--variant", choices=["basic", "nizk", "trap"], default="trap")
     p_stream.add_argument("--iterations", type=int, default=4)
     p_stream.add_argument("--message-size", type=int, default=24)
-    p_stream.add_argument("--crypto-group", default="TOY")
+    p_stream.add_argument(
+        "--group",
+        "--crypto-group",
+        dest="crypto_group",
+        default="TOY",
+        help="group backend from the registry (e.g. toy, modp2048, p256)",
+    )
     p_stream.add_argument("--parallelism", type=int, default=1)
     # default seed chosen so the demo schedule's round-5 tampering is
     # caught by the traps (an honest coin otherwise evades w.p. 1/2)

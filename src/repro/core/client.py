@@ -22,7 +22,7 @@ from typing import List, Optional, Tuple
 from repro.core import messages as fmt
 from repro.crypto.commit import commit
 from repro.crypto.elgamal import AtomElGamal
-from repro.crypto.groups import DeterministicRng, Group, GroupElement
+from repro.crypto.groups import DeterministicRng, GroupBackend as Group, GroupElement
 from repro.crypto.kem import cca2_encrypt
 from repro.crypto.nizk import EncProof, prove_encryption, verify_encryption
 from repro.crypto.vector import CiphertextVector, encrypt_vector

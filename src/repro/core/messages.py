@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.crypto.aead import NONCE_BYTES, TAG_BYTES, AeadCiphertext
-from repro.crypto.groups import Group
+from repro.crypto.groups import GroupBackend as Group
 from repro.crypto.kem import Cca2Ciphertext
 
 TAG_MESSAGE = b"M"
@@ -122,7 +122,7 @@ def serialize_cca2(group: Group, ciphertext: Cca2Ciphertext) -> bytes:
 
 def deserialize_cca2(group: Group, raw: bytes) -> Cca2Ciphertext:
     """Parse ``R || nonce || tag || body`` back into a ciphertext."""
-    width = (group.p.bit_length() + 7) // 8
+    width = group.element_bytes
     if len(raw) < width + NONCE_BYTES + TAG_BYTES:
         raise MessageFormatError("CCA2 ciphertext too short")
     r_value = int.from_bytes(raw[:width], "big")
@@ -161,7 +161,7 @@ def inner_payload_size(group: Group, message_size: int) -> int:
     """Payload bytes needed to carry an inner ciphertext of a
     ``message_size``-byte application message (plus tag and padding
     header)."""
-    width = (group.p.bit_length() + 7) // 8
+    width = group.element_bytes
     cca2 = width + NONCE_BYTES + TAG_BYTES + (4 + message_size)  # body carries padded msg
     return 4 + 1 + cca2
 

@@ -43,7 +43,7 @@ from repro.core.server import AtomServer
 from repro.core.trustees import GroupReport, KeyWithheld, TrusteeGroup
 from repro.crypto.beacon import RandomnessBeacon
 from repro.crypto.commit import commit
-from repro.crypto.groups import DeterministicRng, Group, get_group
+from repro.crypto.groups import DeterministicRng, GroupBackend as Group, get_group
 from repro.crypto.kem import cca2_decrypt
 from repro.crypto.vector import CiphertextVector, plaintext_of
 from repro.topology import IteratedButterflyNetwork, PermutationNetwork, SquareNetwork

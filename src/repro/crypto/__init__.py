@@ -3,8 +3,12 @@
 This package implements, from scratch, every primitive Atom depends on
 (paper §2.3 and Appendix A):
 
-- :mod:`repro.crypto.groups` — prime-order Schnorr groups over safe primes,
-  with message encoding into the quadratic-residue subgroup.
+- :mod:`repro.crypto.groups` — the abstract prime-order group interface
+  (:class:`~repro.crypto.groups.GroupBackend`), its backend registry, and
+  Schnorr groups over safe primes with message encoding into the
+  quadratic-residue subgroup.
+- :mod:`repro.crypto.ec` — the NIST P-256 elliptic-curve backend (registry
+  name ``P256``) the paper's evaluation actually runs on.
 - :mod:`repro.crypto.elgamal` — Atom's rerandomizable ElGamal variant with
   the extra ``Y`` component enabling *out-of-order* decrypt-and-reencrypt.
 - :mod:`repro.crypto.sigma` — a generalized Schnorr sigma-protocol framework
@@ -22,7 +26,15 @@ This package implements, from scratch, every primitive Atom depends on
 - :mod:`repro.crypto.beacon` — a deterministic public randomness beacon.
 """
 
-from repro.crypto.groups import Group, GroupElement, GroupParams, get_group
+from repro.crypto.groups import (
+    Group,
+    GroupBackend,
+    GroupElement,
+    GroupParams,
+    available_groups,
+    get_group,
+    register_backend,
+)
 from repro.crypto.elgamal import AtomCiphertext, ElGamalKeyPair, AtomElGamal
 from repro.crypto.nizk import EncProof, ReEncProof
 from repro.crypto.shuffle_proof import ShuffleProof, prove_shuffle, verify_shuffle
@@ -32,9 +44,12 @@ from repro.crypto.beacon import RandomnessBeacon
 
 __all__ = [
     "Group",
+    "GroupBackend",
     "GroupElement",
     "GroupParams",
+    "available_groups",
     "get_group",
+    "register_backend",
     "AtomCiphertext",
     "ElGamalKeyPair",
     "AtomElGamal",

@@ -1,0 +1,484 @@
+"""NIST P-256 elliptic-curve group backend (registry name ``P256``).
+
+The paper's evaluation runs the entire protocol over NIST P-256; this
+backend implements that group in pure Python behind the
+:class:`~repro.crypto.groups.GroupBackend` interface, so every layer —
+ElGamal, the sigma protocols, the shuffle proof, DVSS, the stream
+engine — runs unchanged on the curve via ``get_group("P256")`` (CLI:
+``--group p256``).
+
+Why it is fast enough: a MODP2048 exponentiation multiplies 2048-bit
+residues ~2048 times, while a P-256 scalar multiplication performs a
+few hundred field operations on 256-bit integers — roughly an order of
+magnitude cheaper in pure Python even before precomputation.  The
+fixed-base comb and Straus multi-exponentiation are the *same*
+algorithms as the Schnorr backend, instantiated through the
+ops-abstraction of :mod:`repro.crypto.fastexp` with Jacobian point
+arithmetic:
+
+- **Jacobian coordinates** ``(X, Y, Z)`` with ``x = X/Z^2``,
+  ``y = Y/Z^3`` make doubling and addition inversion-free; one modular
+  inversion is paid only when a result is normalized back to affine.
+- **Mixed addition**: precomputation tables are batch-normalized to
+  affine (one shared inversion via the Montgomery trick,
+  ``JacobianOps.finish_tables``), so the hot comb/Straus loops use the
+  cheaper Jacobian+affine formulas.
+- ``a = -3`` doubling shortcut (standard for the NIST curves).
+
+Element serialization is SEC1 compressed: 33 bytes (``02``/``03`` ‖
+x-coordinate); the integer ``value`` of a point is that byte string as
+a big-endian integer (``0`` for the identity), which is what proof
+transcripts carry and :meth:`EcGroup.element` parses back.
+
+Messages are embedded as curve points by Koblitz's method: the padded
+message integer ``m`` is shifted left one byte and the low byte scans
+``i = 0, 1, ...`` until ``x = m*256 + i`` hits a valid x-coordinate
+(each try succeeds with probability ~1/2, so 256 tries fail with
+probability ~2^-256); decoding is just ``m = x >> 8``.  The curve has
+prime order (cofactor 1), so every on-curve point is already in the
+prime-order group and :meth:`EcGroup.is_prime_order` is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto.fastexp import FixedBaseComb, jacobi, multiexp_ops
+from repro.crypto.groups import EncodingError, GroupBackend
+
+# -- curve constants (SEC2 / FIPS 186-4, secp256r1) -------------------------
+
+P = 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF
+A = P - 3  # a = -3 mod p
+B = 0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B
+N = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+GX = 0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296
+GY = 0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5
+
+_SQRT_EXP = (P + 1) // 4  # p = 3 mod 4: sqrt(a) = a^((p+1)/4)
+_XMASK = (1 << 256) - 1
+
+#: Jacobian point at infinity (Z = 0).  Kept as a singleton so the
+#: generic loops' ``acc is one`` fast path works.
+_INF: Tuple[int, int, int] = (1, 1, 0)
+
+
+# -- Jacobian field/point arithmetic ----------------------------------------
+
+
+def _jdbl(pt: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    """Point doubling, dbl-2001-b formulas for ``a = -3``."""
+    X1, Y1, Z1 = pt
+    if not Z1:
+        return _INF
+    delta = Z1 * Z1 % P
+    gamma = Y1 * Y1 % P
+    beta = X1 * gamma % P
+    alpha = 3 * (X1 - delta) * (X1 + delta) % P
+    X3 = (alpha * alpha - 8 * beta) % P
+    Z3 = ((Y1 + Z1) * (Y1 + Z1) - gamma - delta) % P
+    Y3 = (alpha * (4 * beta - X3) - 8 * gamma * gamma) % P
+    return (X3, Y3, Z3)
+
+
+def _jadd(p1: Tuple[int, int, int], p2: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    """General Jacobian addition (add-2007-bl)."""
+    X1, Y1, Z1 = p1
+    X2, Y2, Z2 = p2
+    Z1Z1 = Z1 * Z1 % P
+    Z2Z2 = Z2 * Z2 % P
+    U1 = X1 * Z2Z2 % P
+    U2 = X2 * Z1Z1 % P
+    S1 = Y1 * Z2 * Z2Z2 % P
+    S2 = Y2 * Z1 * Z1Z1 % P
+    H = (U2 - U1) % P
+    if not H:
+        if S1 == S2:
+            return _jdbl(p1)
+        return _INF
+    I = 4 * H * H % P
+    J = H * I % P
+    r = 2 * (S2 - S1) % P
+    V = U1 * I % P
+    X3 = (r * r - J - 2 * V) % P
+    Y3 = (r * (V - X3) - 2 * S1 * J) % P
+    Z3 = ((Z1 + Z2) * (Z1 + Z2) - Z1Z1 - Z2Z2) * H % P
+    return (X3, Y3, Z3)
+
+
+def _madd(p1: Tuple[int, int, int], p2: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    """Mixed addition: ``p1`` Jacobian + ``p2`` affine (Z2 = 1),
+    madd-2007-bl — 3 field multiplications cheaper than :func:`_jadd`."""
+    X1, Y1, Z1 = p1
+    X2, Y2, _ = p2
+    Z1Z1 = Z1 * Z1 % P
+    U2 = X2 * Z1Z1 % P
+    S2 = Y2 * Z1 * Z1Z1 % P
+    H = (U2 - X1) % P
+    if not H:
+        if S2 == Y1:
+            return _jdbl(p1)
+        return _INF
+    HH = H * H % P
+    I = 4 * HH % P
+    J = H * I % P
+    r = 2 * (S2 - Y1) % P
+    V = X1 * I % P
+    X3 = (r * r - J - 2 * V) % P
+    Y3 = (r * (V - X3) - 2 * Y1 * J) % P
+    Z3 = ((Z1 + H) * (Z1 + H) - Z1Z1 - HH) % P
+    return (X3, Y3, Z3)
+
+
+def _jmul(a: Tuple[int, int, int], b: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    """Dispatching group operation: identity short-circuits, mixed
+    addition whenever one side is affine-normalized."""
+    if not a[2]:
+        return b
+    if not b[2]:
+        return a
+    if b[2] == 1:
+        return _madd(a, b)
+    if a[2] == 1:
+        return _madd(b, a)
+    return _jadd(a, b)
+
+
+def _batch_to_affine(points: Sequence[Tuple[int, int, int]]) -> List[Tuple[int, int, int]]:
+    """Normalize Jacobian points to ``Z = 1`` with ONE field inversion
+    (Montgomery's trick); infinities pass through as :data:`_INF`."""
+    zs = [pt[2] for pt in points if pt[2] not in (0, 1)]
+    if not zs:
+        return [pt if pt[2] else _INF for pt in points]
+    prefix = [1] * (len(zs) + 1)
+    for i, z in enumerate(zs):
+        prefix[i + 1] = prefix[i] * z % P
+    inv = pow(prefix[-1], -1, P)
+    out: List[Tuple[int, int, int]] = []
+    invs = [0] * len(zs)
+    for i in range(len(zs) - 1, -1, -1):
+        invs[i] = prefix[i] * inv % P
+        inv = inv * zs[i] % P
+    k = 0
+    for pt in points:
+        X, Y, Z = pt
+        if Z == 0:
+            out.append(_INF)
+        elif Z == 1:
+            out.append(pt)
+        else:
+            zi = invs[k]
+            k += 1
+            zi2 = zi * zi % P
+            out.append((X * zi2 % P, Y * zi2 * zi % P, 1))
+    return out
+
+
+def _to_affine(pt: Tuple[int, int, int]) -> Optional[Tuple[int, int]]:
+    """Jacobian -> affine ``(x, y)``; ``None`` for the identity."""
+    X, Y, Z = pt
+    if not Z:
+        return None
+    if Z == 1:
+        return (X, Y)
+    zi = pow(Z, -1, P)
+    zi2 = zi * zi % P
+    return (X * zi2 % P, Y * zi2 * zi % P)
+
+
+class JacobianOps:
+    """The :mod:`repro.crypto.fastexp` ops-object for P-256 points."""
+
+    __slots__ = ()
+
+    one = _INF
+    mul = staticmethod(_jmul)
+    sqr = staticmethod(_jdbl)
+
+    @staticmethod
+    def finish_tables(rows: List[list]) -> List[list]:
+        """Batch-normalize freshly built precomputation rows to affine
+        so the evaluation loops hit the mixed-addition fast path."""
+        flat = [pt for row in rows for pt in row]
+        flat = _batch_to_affine(flat)
+        radix = len(rows[0]) if rows else 0
+        return [flat[i: i + radix] for i in range(0, len(flat), radix)]
+
+
+JAC_OPS = JacobianOps()
+
+
+def _scalar_mult(point: Tuple[int, int, int], scalar: int) -> Tuple[int, int, int]:
+    """Generic 4-bit windowed scalar multiplication (uncached bases)."""
+    e = scalar % N
+    if not e or not point[2]:
+        return _INF
+    # Digit table 1..15; built with mixed adds when the base is affine.
+    table = [_INF, point]
+    for _ in range(14):
+        table.append(_jmul(table[-1], point))
+    acc = _INF
+    for shift in range(e.bit_length() - e.bit_length() % 4, -4, -4):
+        if acc is not _INF:
+            acc = _jdbl(_jdbl(_jdbl(_jdbl(acc))))
+        digit = (e >> shift) & 0xF
+        if digit:
+            acc = _jmul(acc, table[digit])
+    return acc
+
+
+# -- the element and group classes ------------------------------------------
+
+
+@dataclass(frozen=True)
+class EcParams:
+    """P-256 parameters exposed alongside the Schnorr ``GroupParams``."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    n: int
+    gx: int
+    gy: int
+
+    @property
+    def q(self) -> int:
+        """Prime group order (the scalar field)."""
+        return self.n
+
+    @property
+    def message_bytes(self) -> int:
+        """Safely embeddable payload bytes per point: the Koblitz shift
+        spends one byte of x-coordinate space, the padding scheme one
+        length byte, and one byte of headroom keeps ``x < p``."""
+        return (self.p.bit_length() - 9) // 8 - 1
+
+
+P256_PARAMS = EcParams("P256", P, A, B, N, GX, GY)
+
+
+class EcPoint:
+    """A point on P-256 (multiplicative notation, like ``GroupElement``).
+
+    ``x is None`` encodes the identity (point at infinity).  Points are
+    immutable and hashable; ``*`` is point addition, ``**`` scalar
+    multiplication, matching the paper's multiplicative notation so the
+    proof code is backend-blind.
+    """
+
+    __slots__ = ("group", "x", "y")
+
+    def __init__(self, group: "EcGroup", x: Optional[int], y: Optional[int]):
+        object.__setattr__(self, "group", group)
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("EcPoint is immutable")
+
+    # -- serialization ------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """SEC1-compressed encoding as a big-endian integer (0 = identity)."""
+        if self.x is None:
+            return 0
+        return ((2 | (self.y & 1)) << 256) | self.x
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(33, "big")
+
+    # -- group operations ---------------------------------------------
+
+    def _jac(self) -> Tuple[int, int, int]:
+        if self.x is None:
+            return _INF
+        return (self.x, self.y, 1)
+
+    def __mul__(self, other: "EcPoint") -> "EcPoint":
+        if self.x is None:
+            return other
+        if other.x is None:
+            return self
+        x1, y1, x2, y2 = self.x, self.y, other.x, other.y
+        if x1 == x2:
+            if (y1 + y2) % P == 0:
+                return self.group.identity
+            lam = 3 * (x1 * x1 - 1) * pow(2 * y1, -1, P) % P  # a = -3
+        else:
+            lam = (y2 - y1) * pow(x2 - x1, -1, P) % P
+        x3 = (lam * lam - x1 - x2) % P
+        y3 = (lam * (x1 - x3) - y1) % P
+        return EcPoint(self.group, x3, y3)
+
+    def __truediv__(self, other: "EcPoint") -> "EcPoint":
+        return self * other.inverse()
+
+    def __pow__(self, exponent: int) -> "EcPoint":
+        # Hot bases (g, group public keys) have a comb table on the
+        # group; everything else takes the generic windowed path.
+        table = self.group._table_hit(self.value)
+        if table is not None:
+            return self.group._wrap_raw(table.pow(exponent))
+        return self.group._wrap_raw(_scalar_mult(self._jac(), exponent))
+
+    def inverse(self) -> "EcPoint":
+        if self.x is None:
+            return self
+        return EcPoint(self.group, self.x, P - self.y)
+
+    def is_identity(self) -> bool:
+        return self.x is None
+
+    # -- protocol plumbing --------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, EcPoint)
+            and self.x == other.x
+            and self.y == other.y
+            and self.group.params.name == other.group.params.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.group.params.name))
+
+    def __repr__(self) -> str:
+        if self.x is None:
+            return "EcPoint(identity)"
+        return f"EcPoint(x={self.x:#x})"
+
+    def __reduce__(self):
+        # Same singleton-restoring scheme as Schnorr groups: the group
+        # rides along as get_group("P256"), keeping worker-process
+        # fixed-base caches warm across parallel-mixing tasks.
+        return (_point_from_value, (self.group, self.value))
+
+
+def _point_from_value(group: "EcGroup", value: int) -> EcPoint:
+    return group.element(value)
+
+
+class EcGroup(GroupBackend):
+    """P-256 as a :class:`~repro.crypto.groups.GroupBackend`."""
+
+    def __init__(self, params: EcParams = P256_PARAMS):
+        super().__init__()
+        self.params = params
+        self.q = params.n
+        self.g = EcPoint(self, params.gx, params.gy)
+        self.identity = EcPoint(self, None, None)
+
+    def __reduce__(self):
+        from repro.crypto.groups import get_group
+
+        return (get_group, (self.params.name,))
+
+    # -- fast exponentiation hooks ------------------------------------
+
+    def _build_table(self, value: int) -> FixedBaseComb:
+        point = self.element(value)
+        return FixedBaseComb(JAC_OPS, N, point._jac())
+
+    def _wrap_raw(self, raw: Tuple[int, int, int]) -> EcPoint:
+        affine = _to_affine(raw)
+        if affine is None:
+            return self.identity
+        return EcPoint(self, affine[0], affine[1])
+
+    def multiexp(self, bases, exponents, window: int = 0) -> EcPoint:
+        """Straus multi-exponentiation in Jacobian coordinates."""
+        jbases = [
+            b._jac() if isinstance(b, EcPoint) else self.element(b)._jac()
+            for b in bases
+        ]
+        return self._wrap_raw(multiexp_ops(JAC_OPS, N, jbases, exponents, window))
+
+    # -- construction -------------------------------------------------
+
+    @property
+    def element_bytes(self) -> int:
+        return 33
+
+    def element(self, value: int) -> EcPoint:
+        """Decompress an integer-serialized point (validates on-curve)."""
+        if value == 0:
+            return self.identity
+        prefix = value >> 256
+        x = value & _XMASK
+        if prefix not in (2, 3) or not 0 <= x < P:
+            raise ValueError(f"invalid compressed point {value:#x}")
+        rhs = (x * x * x - 3 * x + B) % P
+        y = pow(rhs, _SQRT_EXP, P)
+        if y * y % P != rhs:
+            raise ValueError("x is not on the curve")
+        if (y & 1) != (prefix & 1):
+            y = P - y
+        return EcPoint(self, x, y)
+
+    def element_from_affine(self, x: int, y: int) -> EcPoint:
+        """Wrap affine coordinates, validating the curve equation."""
+        if not (0 <= x < P and 0 < y < P):
+            raise ValueError("coordinates outside the field")
+        if (y * y - (x * x * x - 3 * x + B)) % P != 0:
+            raise ValueError("point is not on the curve")
+        return EcPoint(self, x, y)
+
+    # -- message encoding (Koblitz embedding) -------------------------
+
+    def encode(self, message: bytes) -> EcPoint:
+        """Embed up to ``message_bytes`` bytes into an x-coordinate.
+
+        Uses the backends' shared fixed-width layout
+        (``GroupBackend._payload_to_int``), then scans the low byte for
+        a valid x; the even-y root is chosen so encoding is
+        deterministic.
+        """
+        base = self._payload_to_int(message) << 8
+        for i in range(256):
+            x = base + i
+            if x >= P:
+                break
+            rhs = (x * x * x - 3 * x + B) % P
+            if jacobi(rhs, P) != 1:
+                continue
+            y = pow(rhs, _SQRT_EXP, P)
+            if y & 1:
+                y = P - y
+            return EcPoint(self, x, y)
+        raise EncodingError("no curve point found for message")  # ~2^-256
+
+    def decode(self, element: EcPoint) -> bytes:
+        """Invert :meth:`encode` (the y-coordinate carries no data)."""
+        if element.x is None:
+            raise EncodingError("identity does not carry an encoded message")
+        return self._int_to_payload(element.x >> 8)
+
+    # -- membership ----------------------------------------------------
+
+    def is_prime_order(self, element: EcPoint) -> bool:
+        """Curve-equation check (4 field multiplications).
+
+        P-256 has prime order (cofactor 1), so on-curve membership IS
+        prime-order membership — but an ``EcPoint`` built directly from
+        raw coordinates (tamper instrumentation does this on the
+        Schnorr backend) could lie on the *twist*, whose small-order
+        subgroups are exactly what the batched shuffle verifier's
+        subgroup gate exists to reject.  Deserialization paths
+        (``element`` / ``element_from_affine``) already validate."""
+        if not isinstance(element, EcPoint):
+            return False
+        if element.x is None:
+            return True
+        x, y = element.x, element.y
+        return (y * y - (x * x * x - 3 * x + B)) % P == 0
+
+    def __repr__(self) -> str:
+        return f"EcGroup({self.params.name})"
+
+
+def make_p256_group() -> EcGroup:
+    """Factory used by the lazy registry entry in ``repro.crypto.groups``."""
+    return EcGroup()

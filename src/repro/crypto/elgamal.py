@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.crypto.groups import DeterministicRng, Group, GroupElement
+from repro.crypto.groups import DeterministicRng, GroupBackend as Group, GroupElement
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,6 @@
-"""Fast modular exponentiation: fixed-base combs and multi-exponentiation.
+"""Fast exponentiation: fixed-base combs and multi-exponentiation.
 
-Atom's cost profile is dominated by modular exponentiation (paper §6,
+Atom's cost profile is dominated by group exponentiation (paper §6,
 Tables 3-4): every encrypt / rerandomize / re-encrypt performs two
 exponentiations, and the cut-and-choose shuffle proof multiplies that
 by ``rounds x n`` for the prover and every verifying group member.  The
@@ -10,25 +10,41 @@ textbook setting for fixed-base windowed precomputation, and the batch
 verifier reduces many same-base checks to a handful of Straus
 multi-exponentiations.
 
-This module is deliberately free of any dependency on
-:mod:`repro.crypto.groups`: everything operates on plain integers, so
-:class:`~repro.crypto.groups.Group` can build on it without an import
-cycle, and the algorithms are directly property-testable against
-``pow``.
+The algorithms are *backend-generic*: they only ever combine elements
+with an associative operation, so one implementation serves both group
+backends (see ``repro.crypto.groups``).  A backend supplies a tiny
+"ops" object:
+
+- ``ops.one`` — the neutral element of the representation,
+- ``ops.mul(a, b)`` — the group operation,
+- ``ops.sqr(a)`` (optional) — ``mul(a, a)``, for backends with a
+  cheaper doubling (elliptic-curve points),
+- ``ops.finish_tables(rows)`` (optional) — post-process freshly built
+  precomputation rows (the curve backend batch-normalizes Jacobian
+  entries to affine here so the hot loops use cheap mixed additions).
+
+The Schnorr-group backend works on plain integers mod p
+(:class:`ModIntOps`); the P-256 backend works on Jacobian-coordinate
+points (``repro.crypto.ec.JacobianOps``).  This module stays free of
+any dependency on :mod:`repro.crypto.groups`, so both backends can
+build on it without an import cycle, and the algorithms are directly
+property-testable against ``pow``.
 
 Algorithms (see DESIGN.md, "Fast-exponentiation layer"):
 
-- :class:`FixedBaseExp` — radix-``2^w`` fixed-base precomputation.  For
-  a ``b``-bit exponent split into ``ceil(b/w)`` windows, table row ``j``
-  stores ``base^(d * 2^(w*j))`` for every digit ``d``; an
-  exponentiation is then at most ``ceil(b/w)`` modular multiplications
-  and **zero** squarings, roughly a ``5-15x`` win over generic ``pow``
-  once the table is amortized.
-- :func:`multiexp` — Straus/Shamir interleaved multi-exponentiation
+- :class:`FixedBaseComb` — radix-``2^w`` fixed-base precomputation.
+  For a ``b``-bit exponent split into ``ceil(b/w)`` windows, table row
+  ``j`` stores ``base^(d * 2^(w*j))`` for every digit ``d``; an
+  exponentiation is then at most ``ceil(b/w)`` group operations and
+  **zero** squarings, roughly a ``5-15x`` win over generic ``pow``
+  once the table is amortized.  :class:`FixedBaseExp` is its integer
+  specialization with the modular multiply inlined.
+- :func:`multiexp_ops` — Straus/Shamir interleaved multi-exponentiation
   ``prod_i base_i^{e_i}``: one shared squaring chain for all bases plus
   per-base digit tables.  With the short (128-bit) weights used by
   batch proof verification the shared chain is only 128 squarings no
-  matter how many bases are combined.
+  matter how many bases are combined.  :func:`multiexp_ints` is the
+  integer wrapper, :func:`multiexp` the group-element front end.
 """
 
 from __future__ import annotations
@@ -45,38 +61,90 @@ def auto_window(exponent_bits: int) -> int:
     return 5
 
 
-class FixedBaseExp:
-    """Windowed fixed-base exponentiation table for ``base^e mod p``.
+class ModIntOps:
+    """Group operations on integer residues mod an odd prime."""
 
-    Exponents are reduced modulo ``order`` (the subgroup order ``q``),
-    matching :meth:`repro.crypto.groups.GroupElement.__pow__`.  Table
-    size is ``ceil(bits(order)/w) * 2^w`` residues; building it costs
-    about the same as six generic exponentiations, so it pays for
-    itself almost immediately on a hot base.
+    __slots__ = ("modulus",)
+
+    one = 1
+
+    def __init__(self, modulus: int):
+        self.modulus = modulus
+
+    def mul(self, a: int, b: int) -> int:
+        return a * b % self.modulus
+
+
+class FixedBaseComb:
+    """Windowed fixed-base exponentiation table over abstract group ops.
+
+    Exponents are reduced modulo ``order`` (the group order ``q``),
+    matching ``GroupElement.__pow__``.  Table size is
+    ``ceil(bits(order)/w) * 2^w`` elements; building it costs about the
+    same as six generic exponentiations, so it pays for itself almost
+    immediately on a hot base.
     """
 
-    __slots__ = ("modulus", "order", "base", "window", "_table")
+    __slots__ = ("ops", "order", "base", "window", "_table")
 
-    def __init__(self, modulus: int, order: int, base: int, window: int = 0):
-        if not 0 < base < modulus:
-            raise ValueError("base outside Z_p^*")
-        self.modulus = modulus
+    def __init__(self, ops, order: int, base, window: int = 0):
+        self.ops = ops
         self.order = order
         self.base = base
         self.window = window or auto_window(order.bit_length())
         w = self.window
         radix = 1 << w
         blocks = (order.bit_length() + w - 1) // w
-        table: List[List[int]] = []
+        mul = ops.mul
+        one = ops.one
+        table: List[list] = []
         b = base
         for _ in range(blocks):
-            row = [1] * radix
+            row = [one] * radix
             row[1] = b
             for d in range(2, radix):
-                row[d] = row[d - 1] * b % modulus
+                row[d] = mul(row[d - 1], b)
             table.append(row)
-            b = row[radix - 1] * b % modulus  # b^(2^w): next window's base
+            b = mul(row[radix - 1], b)  # b^(2^w): next window's base
+        finish = getattr(ops, "finish_tables", None)
+        if finish is not None:
+            table = finish(table)
         self._table = table
+
+    def pow(self, exponent: int):
+        """``base^exponent`` with the exponent reduced mod ``order``."""
+        e = exponent % self.order
+        mul = self.ops.mul
+        acc = self.ops.one
+        w = self.window
+        mask = (1 << w) - 1
+        table = self._table
+        block = 0
+        while e:
+            digit = e & mask
+            if digit:
+                acc = mul(acc, table[block][digit])
+            e >>= w
+            block += 1
+        return acc
+
+
+class FixedBaseExp(FixedBaseComb):
+    """Integer specialization of :class:`FixedBaseComb` for ``mod p``.
+
+    Keeps the historical ``(modulus, order, base)`` constructor and
+    inlines the modular multiply in :meth:`pow` — the per-operation
+    dispatch through ``ops.mul`` is measurable on the very hot
+    ``g^r`` path of protocol rounds.
+    """
+
+    __slots__ = ("modulus",)
+
+    def __init__(self, modulus: int, order: int, base: int, window: int = 0):
+        if not 0 < base < modulus:
+            raise ValueError("base outside Z_p^*")
+        self.modulus = modulus
+        super().__init__(ModIntOps(modulus), order, base, window)
 
     def pow(self, exponent: int) -> int:
         """``base^exponent mod modulus`` with exponent reduced mod order."""
@@ -96,6 +164,57 @@ class FixedBaseExp:
         return acc
 
 
+def multiexp_ops(
+    ops,
+    order: int,
+    bases: Sequence,
+    exponents: Sequence[int],
+    window: int = 0,
+):
+    """Straus interleaved multi-exponentiation over abstract group ops.
+
+    Computes ``prod_i bases[i]^(exponents[i] % order)`` with one shared
+    squaring chain (``max-bits`` squarings total) and a small digit
+    table per base.
+    """
+    if len(bases) != len(exponents):
+        raise ValueError("bases and exponents length mismatch")
+    exps = [e % order for e in exponents]
+    one = ops.one
+    if not bases:
+        return one
+    maxbits = max(e.bit_length() for e in exps)
+    if maxbits == 0:
+        return one
+    w = window or (4 if maxbits <= 512 else 5)
+    radix = 1 << w
+    mask = radix - 1
+    mul = ops.mul
+    sqr = getattr(ops, "sqr", None) or (lambda a: mul(a, a))
+    tables: List[list] = []
+    for base in bases:
+        row = [one] * radix
+        row[1] = base
+        for d in range(2, radix):
+            row[d] = mul(row[d - 1], base)
+        tables.append(row)
+    finish = getattr(ops, "finish_tables", None)
+    if finish is not None:
+        tables = finish(tables)
+    blocks = (maxbits + w - 1) // w
+    acc = one
+    for block in range(blocks - 1, -1, -1):
+        if acc is not one:
+            for _ in range(w):
+                acc = sqr(acc)
+        shift = block * w
+        for row, e in zip(tables, exps):
+            digit = (e >> shift) & mask
+            if digit:
+                acc = mul(acc, row[digit])
+    return acc
+
+
 def multiexp_ints(
     modulus: int,
     order: int,
@@ -103,55 +222,22 @@ def multiexp_ints(
     exponents: Sequence[int],
     window: int = 0,
 ) -> int:
-    """Straus interleaved multi-exponentiation over plain integers.
-
-    Computes ``prod_i bases[i]^(exponents[i] % order) mod modulus``
-    with one shared squaring chain (``max-bits`` squarings total) and a
-    small odd-digit table per base.
-    """
-    if len(bases) != len(exponents):
-        raise ValueError("bases and exponents length mismatch")
-    exps = [e % order for e in exponents]
-    if not bases:
-        return 1
-    maxbits = max(e.bit_length() for e in exps)
-    if maxbits == 0:
-        return 1
-    w = window or (4 if maxbits <= 512 else 5)
-    radix = 1 << w
-    mask = radix - 1
-    tables: List[List[int]] = []
+    """Straus multi-exponentiation over plain integers mod ``modulus``."""
     for base in bases:
         if not 0 < base < modulus:
             raise ValueError("base outside Z_p^*")
-        row = [1] * radix
-        row[1] = base
-        for d in range(2, radix):
-            row[d] = row[d - 1] * base % modulus
-        tables.append(row)
-    blocks = (maxbits + w - 1) // w
-    acc = 1
-    for block in range(blocks - 1, -1, -1):
-        if acc != 1:
-            for _ in range(w):
-                acc = acc * acc % modulus
-        shift = block * w
-        for row, e in zip(tables, exps):
-            digit = (e >> shift) & mask
-            if digit:
-                acc = acc * row[digit] % modulus
-    return acc
+    return multiexp_ops(ModIntOps(modulus), order, bases, exponents, window)
 
 
 def multiexp(group, bases: Sequence, exponents: Sequence[int], window: int = 0):
     """``prod_i bases[i]^exponents[i]`` as a group element.
 
-    ``bases`` may be :class:`~repro.crypto.groups.GroupElement`s or raw
-    integers; the result is returned through ``group.element`` so the
-    usual subgroup checks apply.
+    Dispatches to ``group.multiexp`` so each backend runs the Straus
+    chain in its native representation (integers mod p, Jacobian
+    points); kept as a module-level helper because the proof code reads
+    better calling a function on the group *argument*.
     """
-    values = [getattr(b, "value", b) for b in bases]
-    return group.element(multiexp_ints(group.p, group.q, values, exponents, window))
+    return group.multiexp(bases, exponents, window)
 
 
 def jacobi(a: int, n: int) -> int:
@@ -159,7 +245,8 @@ def jacobi(a: int, n: int) -> int:
 
     For prime ``n`` this equals the Legendre symbol, so it replaces the
     Euler-criterion quadratic-residue test (a full modular
-    exponentiation) in ``Group.encode``.
+    exponentiation) in ``Group.encode``, and serves as the curve
+    backend's pre-check that ``x^3 - 3x + b`` has a square root.
     """
     if n <= 0 or n % 2 == 0:
         raise ValueError("Jacobi symbol requires odd n > 0")

@@ -1,33 +1,43 @@
 """Prime-order cyclic groups for Atom's cryptography.
 
-The paper uses the NIST P-256 elliptic curve.  A pure-Python elliptic
-curve is orders of magnitude too slow for protocol-scale experiments
-(see DESIGN.md substitution #1), so we implement the same abstract group
-interface over *Schnorr groups*: the subgroup of quadratic residues of
-Z_p^* for a safe prime p = 2q + 1.  The subgroup has prime order q, the
-Decision Diffie-Hellman assumption is standard there, and Python's
-native big-integer ``pow`` makes it fast enough to run the full protocol
-in-process.
+The protocol layer is written against one abstract group interface,
+:class:`GroupBackend`, with two interchangeable implementations behind
+the :func:`get_group` registry:
 
-Three parameter sets are provided:
+- **Schnorr groups** (:class:`Group`): the subgroup of quadratic
+  residues of Z_p^* for a safe prime p = 2q + 1.  The subgroup has
+  prime order q, the Decision Diffie-Hellman assumption is standard
+  there, and Python's native big-integer ``pow`` makes it fast enough
+  to run the full protocol in-process.  Parameter sets: ``TOY``
+  (64-bit, unit tests), ``TEST`` (128-bit, integration tests),
+  ``P256ISH`` (256-bit), ``MODP2048`` (RFC 3526 group 14, realistic
+  cost microbenchmarks).
 
-- ``TOY`` (64-bit): unit tests and property-based tests.
-- ``TEST`` (128-bit): integration tests of full protocol rounds.
-- ``MODP2048`` (RFC 3526 group 14): realistic cost microbenchmarks.
+- **NIST P-256** (``repro.crypto.ec.EcGroup``, registry name
+  ``P256``): the elliptic curve the paper's evaluation actually runs
+  on, with constant-size 256-bit scalars — roughly an order of
+  magnitude faster per exponentiation than MODP2048 in pure Python.
+
+Backends are registered by name via :func:`register_backend`;
+``P256`` is registered lazily so importing this module never pays for
+the curve arithmetic module unless it is used.
 
 Messages are encoded into the QR subgroup with the classic safe-prime
-trick: m in [1, q] maps to m if m is a QR mod p, else to p - m; both are
-invertible because exactly one of {m, p - m} is a QR when p = 3 mod 4.
+trick: m in [1, q] maps to m if m is a QR mod p, else to p - m; both
+are invertible because exactly one of {m, p - m} is a QR when
+p = 3 mod 4.  (The curve backend instead uses Koblitz embedding into
+the x-coordinate; see ``repro.crypto.ec``.)
 """
 
 from __future__ import annotations
 
 import hashlib
+import importlib
 import secrets
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
-from repro.crypto.fastexp import FixedBaseExp, jacobi
+from repro.crypto.fastexp import FixedBaseExp, jacobi, multiexp_ints
 
 
 class EncodingError(ValueError):
@@ -94,7 +104,7 @@ _PARAM_SETS = {
 
 @dataclass(frozen=True)
 class GroupElement:
-    """An element of a :class:`Group`.
+    """An element of a Schnorr :class:`Group`.
 
     Elements are immutable and hashable; arithmetic uses operator
     overloading (``*``, ``/``, ``**``) matching the multiplicative
@@ -102,7 +112,7 @@ class GroupElement:
     """
 
     value: int
-    group: "Group" = field(repr=False, compare=False)
+    group: "Group"
 
     def __post_init__(self) -> None:
         if not 0 < self.value < self.group.p:
@@ -134,6 +144,9 @@ class GroupElement:
     def to_bytes(self) -> bytes:
         return self.value.to_bytes((self.group.p.bit_length() + 7) // 8, "big")
 
+    def __repr__(self) -> str:
+        return f"GroupElement({self.value})"
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, GroupElement)
@@ -145,12 +158,37 @@ class GroupElement:
         return hash((self.value, self.group.params.name))
 
 
-class Group:
-    """A prime-order Schnorr group with message encoding.
+class GroupBackend:
+    """Abstract prime-order group with message encoding.
 
-    Exposes the generator ``g``, subgroup order ``q``, scalar sampling,
-    hashing to scalars (for Fiat-Shamir), and reversible message
-    encoding into the subgroup.
+    Everything above this module — ElGamal, the sigma protocols, the
+    shuffle proof, DVSS/threshold decryption, the protocol engine —
+    talks to a group exclusively through this interface, so backends
+    are interchangeable per deployment (``DeploymentConfig.crypto_group``
+    / the CLI's ``--group``).
+
+    A backend must provide, in ``__init__``:
+
+    - ``params`` with at least ``name`` and ``message_bytes``,
+    - ``q`` (prime group order), ``g`` (generator element),
+      ``identity``,
+
+    and implement the abstract hooks at the bottom of this class:
+    ``element`` (deserialize an integer), ``encode`` / ``decode``
+    (reversible message embedding), ``is_prime_order`` (subgroup
+    membership of an element), ``multiexp`` (Straus chain in the
+    backend's native representation), ``element_bytes`` (serialized
+    width), plus the two fixed-base-cache hooks ``_build_table`` /
+    ``_wrap_raw``.
+
+    Elements expose ``*``, ``/``, ``**``, ``inverse``, ``is_identity``,
+    ``to_bytes`` and an integer ``value`` that round-trips through
+    ``element`` — the proof transcripts serialize elements as those
+    integers.
+
+    This base class supplies the shared machinery: scalar sampling,
+    Fiat-Shamir hashing, chunked message encoding, and the fixed-base
+    table cache with its LRU/promotion policy.
     """
 
     #: fixed-base tables kept at most this many per group (a MODP2048
@@ -160,30 +198,15 @@ class Group:
     #: plain-pow uses of a base before it is promoted to a table
     FIXED_PROMOTE_AFTER = 2
 
-    def __init__(self, params: GroupParams):
-        self.params = params
-        self.p = params.p
-        self.q = params.q
-        self.g = GroupElement(params.g, self)
-        self.identity = GroupElement(1, self)
-        #: base value -> FixedBaseExp table (hot bases: g, public keys)
+    def __init__(self) -> None:
+        #: base value -> fixed-base table (hot bases: g, public keys)
         self._fixed_cache: dict = {}
         #: base value -> times seen by pow_cached (promotion counter)
         self._fixed_counts: dict = {}
 
-    def __reduce__(self):
-        # Registry groups unpickle back through get_group, restoring
-        # singleton identity: worker processes (parallel mixing) keep
-        # one warm fixed-base cache across tasks instead of shipping
-        # tables in every payload and rebuilding them per task, and
-        # results returned to the parent reuse its warm group.
-        if _PARAM_SETS.get(self.params.name) == self.params:
-            return (get_group, (self.params.name,))
-        return (Group, (self.params,))
-
     # -- fast exponentiation ------------------------------------------
 
-    def _table_hit(self, value: int) -> Optional[FixedBaseExp]:
+    def _table_hit(self, value: int):
         """Cache lookup with an LRU touch on hit, so hot bases used
         through ``__pow__``/``pow_cached`` are not evicted in favor of
         dead per-round keys that merely got inserted later."""
@@ -193,31 +216,34 @@ class Group:
             self._fixed_cache[value] = table
         return table
 
-    def fixed_base(self, base: Union[GroupElement, int]) -> FixedBaseExp:
+    def fixed_base(self, base):
         """Return (building and caching if needed) the fixed-base comb
-        table for ``base``.  Call this for bases known to be hot — the
-        generator and per-round group public keys."""
-        value = base.value if isinstance(base, GroupElement) else base % self.p
+        table for ``base`` (an element, or its integer ``value``).
+        Call this for bases known to be hot — the generator and
+        per-round group public keys."""
+        value = base if isinstance(base, int) else base.value
         table = self._table_hit(value)
         if table is None:
+            gen_key = self.g.value
             if len(self._fixed_cache) >= self.FIXED_CACHE_LIMIT:
                 # Evict least-recently-used, but never the generator:
                 # dead per-round keys go first, g stays hot forever.
                 for stale in self._fixed_cache:
-                    if stale != self.params.g:
+                    if stale != gen_key:
                         self._fixed_cache.pop(stale)
                         break
-            table = FixedBaseExp(self.p, self.q, value)
+            table = self._build_table(value)
             self._fixed_cache[value] = table
         return table
 
-    def g_pow(self, exponent: int) -> GroupElement:
+    def g_pow(self, exponent: int):
         """``g^exponent`` via the generator's fixed-base table."""
-        if self.params.g not in self._fixed_cache:
+        gen_key = self.g.value
+        if gen_key not in self._fixed_cache:
             self.fixed_base(self.g)
-        return GroupElement(self._fixed_cache[self.params.g].pow(exponent), self)
+        return self._wrap_raw(self._fixed_cache[gen_key].pow(exponent))
 
-    def pow_cached(self, base: GroupElement, exponent: int) -> GroupElement:
+    def pow_cached(self, base, exponent: int):
         """``base^exponent`` that promotes recurring bases to tables.
 
         A base already backed by a table uses it immediately; otherwise
@@ -230,23 +256,19 @@ class Group:
         value = base.value
         table = self._table_hit(value)
         if table is not None:
-            return GroupElement(table.pow(exponent), self)
-        if value == 1:
+            return self._wrap_raw(table.pow(exponent))
+        if base.is_identity():
             return self.identity
         seen = self._fixed_counts.get(value, 0) + 1
         if seen > self.FIXED_PROMOTE_AFTER:
             self._fixed_counts.pop(value, None)
-            return GroupElement(self.fixed_base(base).pow(exponent), self)
+            return self._wrap_raw(self.fixed_base(base).pow(exponent))
         if len(self._fixed_counts) > 8192:  # bound the counter map
             self._fixed_counts.clear()
         self._fixed_counts[value] = seen
-        return GroupElement(pow(value, exponent % self.q, self.p), self)
+        return base ** exponent
 
-    # -- construction -------------------------------------------------
-
-    def element(self, value: int) -> GroupElement:
-        """Wrap an integer as a group element (must lie in Z_p^*)."""
-        return GroupElement(value % self.p, self)
+    # -- randomness ---------------------------------------------------
 
     def random_scalar(self, rng: Optional["DeterministicRng"] = None) -> int:
         """Sample a uniform scalar in [1, q-1]."""
@@ -254,8 +276,8 @@ class Group:
             return rng.randint(1, self.q - 1)
         return secrets.randbelow(self.q - 1) + 1
 
-    def random_element(self, rng: Optional["DeterministicRng"] = None) -> GroupElement:
-        """Sample a uniform element of the subgroup (as g^r)."""
+    def random_element(self, rng: Optional["DeterministicRng"] = None):
+        """Sample a uniform group element (as g^r)."""
         return self.g_pow(self.random_scalar(rng))
 
     # -- hashing ------------------------------------------------------
@@ -269,24 +291,162 @@ class Group:
             h.update(part)
         return int.from_bytes(h.digest(), "big") % self.q
 
-    # -- message encoding ---------------------------------------------
+    # -- shared message-payload layout --------------------------------
 
-    def encode(self, message: bytes) -> GroupElement:
-        """Encode up to ``message_bytes`` bytes as a subgroup element.
-
-        The message is length-prefixed, interpreted as an integer
-        m in [1, q], and mapped to the QR subgroup via m -> m or p - m.
-        """
+    def _payload_to_int(self, message: bytes) -> int:
+        """Fixed-width layout shared by both backends: message, zero
+        padding, trailing length byte, as an integer ``m >= 1``.  The
+        fixed width makes the int <-> bytes conversion unambiguous even
+        when the message has leading zero bytes."""
         capacity = self.params.message_bytes
         if len(message) > capacity:
             raise EncodingError(
                 f"message of {len(message)} bytes exceeds capacity {capacity}"
             )
-        # Fixed-width layout: message, zero padding, trailing length byte.
-        # The fixed width makes the int <-> bytes conversion unambiguous
-        # even when the message has leading zero bytes.
         data = message + b"\x00" * (capacity - len(message)) + bytes([len(message)])
-        m = int.from_bytes(data, "big") + 1  # ensure m >= 1
+        return int.from_bytes(data, "big") + 1  # ensure m >= 1
+
+    def _int_to_payload(self, m: int) -> bytes:
+        """Invert :meth:`_payload_to_int`."""
+        m -= 1
+        try:
+            raw = m.to_bytes(self.params.message_bytes + 1, "big")
+        except OverflowError as exc:
+            raise EncodingError("element does not carry an encoded message") from exc
+        length = raw[-1]
+        if length > self.params.message_bytes:
+            raise EncodingError(f"invalid length byte {length}")
+        return raw[:length]
+
+    # -- chunked message encoding -------------------------------------
+
+    def encode_chunks(self, message: bytes) -> List:
+        """Encode an arbitrary-length message as a vector of elements.
+
+        The paper embeds larger messages as multiple curve points
+        ("a 64-byte message is two elliptic curve points"); the same
+        scheme applies to Schnorr-group elements.
+        """
+        capacity = self.params.message_bytes
+        chunks = [message[i: i + capacity] for i in range(0, len(message), capacity)]
+        if not chunks:
+            chunks = [b""]
+        return [self.encode(chunk) for chunk in chunks]
+
+    def decode_chunks(self, elements: Iterable) -> bytes:
+        """Invert :meth:`encode_chunks`."""
+        return b"".join(self.decode(el) for el in elements)
+
+    def elements_for_size(self, num_bytes: int) -> int:
+        """Number of group elements needed to carry ``num_bytes`` bytes."""
+        capacity = self.params.message_bytes
+        return max(1, -(-num_bytes // capacity))
+
+    # -- backend hooks -------------------------------------------------
+
+    @property
+    def element_bytes(self) -> int:
+        """Serialized width of one element (``element.to_bytes()``)."""
+        raise NotImplementedError
+
+    def element(self, value: int):
+        """Deserialize an integer ``value`` back into an element
+        (raises ``ValueError`` on values outside the group)."""
+        raise NotImplementedError
+
+    def encode(self, message: bytes):
+        """Reversibly embed up to ``params.message_bytes`` bytes."""
+        raise NotImplementedError
+
+    def decode(self, element) -> bytes:
+        """Invert :meth:`encode`."""
+        raise NotImplementedError
+
+    def is_prime_order(self, element) -> bool:
+        """Whether ``element`` lies in the prime-order subgroup (the
+        batched shuffle verifier rejects order-2 stowaways with this)."""
+        raise NotImplementedError
+
+    def multiexp(self, bases, exponents, window: int = 0):
+        """``prod_i bases[i]^exponents[i]`` via a Straus chain."""
+        raise NotImplementedError
+
+    def _build_table(self, value: int):
+        """Build a fixed-base table (with ``.pow(e) -> raw``) for the
+        element serialized as ``value``."""
+        raise NotImplementedError
+
+    def _wrap_raw(self, raw):
+        """Wrap a table/multiexp result in an element."""
+        raise NotImplementedError
+
+
+class Group(GroupBackend):
+    """A prime-order Schnorr group with message encoding.
+
+    Exposes the generator ``g``, subgroup order ``q``, scalar sampling,
+    hashing to scalars (for Fiat-Shamir), and reversible message
+    encoding into the subgroup.
+    """
+
+    def __init__(self, params: GroupParams):
+        super().__init__()
+        self.params = params
+        self.p = params.p
+        self.q = params.q
+        self.g = GroupElement(params.g, self)
+        self.identity = GroupElement(1, self)
+
+    def __reduce__(self):
+        # Registry groups unpickle back through get_group, restoring
+        # singleton identity: worker processes (parallel mixing) keep
+        # one warm fixed-base cache across tasks instead of shipping
+        # tables in every payload and rebuilding them per task, and
+        # results returned to the parent reuse its warm group.
+        if _PARAM_SETS.get(self.params.name) == self.params:
+            return (get_group, (self.params.name,))
+        return (Group, (self.params,))
+
+    # -- fast exponentiation hooks ------------------------------------
+
+    def _build_table(self, value: int) -> FixedBaseExp:
+        return FixedBaseExp(self.p, self.q, value)
+
+    def _wrap_raw(self, raw: int) -> GroupElement:
+        return GroupElement(raw, self)
+
+    def fixed_base(self, base: Union[GroupElement, int]) -> FixedBaseExp:
+        if isinstance(base, int):
+            base = base % self.p
+        return super().fixed_base(base)
+
+    def multiexp(self, bases, exponents, window: int = 0) -> GroupElement:
+        """Straus multi-exponentiation over plain integer residues."""
+        values = [getattr(b, "value", b) for b in bases]
+        return GroupElement(
+            multiexp_ints(self.p, self.q, values, exponents, window), self
+        )
+
+    # -- construction -------------------------------------------------
+
+    @property
+    def element_bytes(self) -> int:
+        return (self.p.bit_length() + 7) // 8
+
+    def element(self, value: int) -> GroupElement:
+        """Wrap an integer as a group element (must lie in Z_p^*)."""
+        return GroupElement(value % self.p, self)
+
+    # -- message encoding ---------------------------------------------
+
+    def encode(self, message: bytes) -> GroupElement:
+        """Encode up to ``message_bytes`` bytes as a subgroup element.
+
+        The padded message (``_payload_to_int``) is interpreted as an
+        integer m in [1, q] and mapped to the QR subgroup via m -> m or
+        p - m.
+        """
+        m = self._payload_to_int(message)
         if m > self.q:
             raise EncodingError("encoded integer exceeds subgroup order")
         if self._is_qr(m):
@@ -298,39 +458,13 @@ class Group:
         m = element.value
         if m > self.q:
             m = self.p - m
-        m -= 1
-        try:
-            raw = m.to_bytes(self.params.message_bytes + 1, "big")
-        except OverflowError as exc:
-            raise EncodingError("element does not carry an encoded message") from exc
-        length = raw[-1]
-        if length > self.params.message_bytes:
-            raise EncodingError(f"invalid length byte {length}")
-        return raw[:length]
-
-    def encode_chunks(self, message: bytes) -> List[GroupElement]:
-        """Encode an arbitrary-length message as a vector of elements.
-
-        The paper embeds larger messages as multiple curve points
-        ("a 64-byte message is two elliptic curve points"); this is the
-        same scheme for Schnorr-group elements.
-        """
-        capacity = self.params.message_bytes
-        chunks = [message[i: i + capacity] for i in range(0, len(message), capacity)]
-        if not chunks:
-            chunks = [b""]
-        return [self.encode(chunk) for chunk in chunks]
-
-    def decode_chunks(self, elements: Iterable[GroupElement]) -> bytes:
-        """Invert :meth:`encode_chunks`."""
-        return b"".join(self.decode(el) for el in elements)
-
-    def elements_for_size(self, num_bytes: int) -> int:
-        """Number of group elements needed to carry ``num_bytes`` bytes."""
-        capacity = self.params.message_bytes
-        return max(1, -(-num_bytes // capacity))
+        return self._int_to_payload(m)
 
     # -- internals ----------------------------------------------------
+
+    def is_prime_order(self, element: GroupElement) -> bool:
+        """QR-subgroup membership (order q) via the Jacobi symbol."""
+        return jacobi(element.value, self.p) == 1
 
     def _is_qr(self, value: int) -> bool:
         """Quadratic-residue test via the Jacobi symbol.
@@ -400,14 +534,60 @@ class DeterministicRng:
         return items[self.randint(0, len(items) - 1)]
 
 
-_GROUP_CACHE: dict = {}
+# -- the backend registry ---------------------------------------------------
+
+_GROUP_CACHE: Dict[str, GroupBackend] = {}
+
+#: name -> zero-arg factory, for backends registered at runtime
+_BACKEND_FACTORIES: Dict[str, Callable[[], GroupBackend]] = {}
+
+#: built-in backends resolved on first use ("pay for what you touch":
+#: importing the crypto package never loads the curve arithmetic)
+_LAZY_BACKENDS = {
+    "P256": ("repro.crypto.ec", "make_p256_group"),
+}
 
 
-def get_group(name: str = "TEST") -> Group:
-    """Return (and cache) a named group: TOY, TEST, P256ISH, or MODP2048."""
+def register_backend(name: str, factory: Callable[[], GroupBackend]) -> None:
+    """Register a group backend under ``name`` (case-insensitive).
+
+    ``factory`` takes no arguments and returns a fresh
+    :class:`GroupBackend`; the instance is cached by :func:`get_group`,
+    so one warm fixed-base cache is shared process-wide per name.
+    """
     key = name.upper()
-    if key not in _PARAM_SETS:
-        raise KeyError(f"unknown group {name!r}; choose from {sorted(_PARAM_SETS)}")
-    if key not in _GROUP_CACHE:
-        _GROUP_CACHE[key] = Group(_PARAM_SETS[key])
-    return _GROUP_CACHE[key]
+    if key in _PARAM_SETS or key in _LAZY_BACKENDS:
+        raise ValueError(f"{name!r} is a reserved built-in backend name")
+    _BACKEND_FACTORIES[key] = factory
+    _GROUP_CACHE.pop(key, None)
+
+
+def available_groups() -> List[str]:
+    """All registry names accepted by :func:`get_group` (and the CLI's
+    ``--group``)."""
+    return sorted(set(_PARAM_SETS) | set(_BACKEND_FACTORIES) | set(_LAZY_BACKENDS))
+
+
+def get_group(name: str = "TEST") -> GroupBackend:
+    """Return (and cache) a named group backend.
+
+    Built-ins: the Schnorr sets ``TOY``, ``TEST``, ``P256ISH``,
+    ``MODP2048`` and the elliptic-curve backend ``P256``.
+    """
+    key = name.upper()
+    if key in _GROUP_CACHE:
+        return _GROUP_CACHE[key]
+    if key in _PARAM_SETS:
+        group: GroupBackend = Group(_PARAM_SETS[key])
+    else:
+        factory = _BACKEND_FACTORIES.get(key)
+        if factory is None and key in _LAZY_BACKENDS:
+            module, attr = _LAZY_BACKENDS[key]
+            factory = getattr(importlib.import_module(module), attr)
+        if factory is None:
+            raise KeyError(
+                f"unknown group {name!r}; choose from {available_groups()}"
+            )
+        group = factory()
+    _GROUP_CACHE[key] = group
+    return group

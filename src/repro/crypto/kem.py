@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.aead import AeadCiphertext, aead_decrypt, aead_encrypt
-from repro.crypto.groups import DeterministicRng, Group, GroupElement
+from repro.crypto.groups import DeterministicRng, GroupBackend as Group, GroupElement
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,7 @@ from typing import Optional, Tuple
 
 from repro.crypto import sigma
 from repro.crypto.elgamal import AtomCiphertext, AtomElGamal
-from repro.crypto.groups import Group, GroupElement
+from repro.crypto.groups import GroupBackend as Group, GroupElement
 from repro.crypto.sigma import SigmaProof
 
 

@@ -34,8 +34,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.elgamal import AtomCiphertext, AtomElGamal
-from repro.crypto.fastexp import jacobi, multiexp
-from repro.crypto.groups import DeterministicRng, Group, GroupElement
+from repro.crypto.fastexp import multiexp
+from repro.crypto.groups import DeterministicRng, GroupBackend
 
 #: Default number of cut-and-choose rounds (soundness 2^-16 for tests;
 #: a deployment would use 64+).  Benchmarks sweep this as an ablation.
@@ -55,8 +55,8 @@ def _batch_weights(n: int, rng: Optional[DeterministicRng] = None) -> List[int]:
 
 
 def batch_rerand_check(
-    group: Group,
-    public_key: GroupElement,
+    group: GroupBackend,
+    public_key,
     sources: Sequence[AtomCiphertext],
     targets: Sequence[AtomCiphertext],
     rands: Sequence[int],
@@ -74,20 +74,22 @@ def batch_rerand_check(
     Any violated element equation makes the identities fail except with
     probability ~2^-WEIGHT_BITS over the weights.
 
-    Every component must lie in the order-``q`` QR subgroup, enforced
-    below via the Jacobi symbol.  ``GroupElement`` only guarantees
-    membership in ``Z_p^* = QR x {±1}``, and an order-2 factor (a
-    sign-flipped component, ``x -> p - x``) would survive the linear
-    combination whenever its weight is even — degrading soundness to
-    ~1/2 per round — while the element-wise reference path rejects it
-    always.  Restricting to the prime-order subgroup restores the
-    Schwartz-Zippel bound.
+    Every component must lie in the prime-order subgroup, enforced
+    below via ``group.is_prime_order``.  A Schnorr ``GroupElement``
+    only guarantees membership in ``Z_p^* = QR x {±1}``, and an
+    order-2 factor (a sign-flipped component, ``x -> p - x``) would
+    survive the linear combination whenever its weight is even —
+    degrading soundness to ~1/2 per round — while the element-wise
+    reference path rejects it always.  Restricting to the prime-order
+    subgroup restores the Schwartz-Zippel bound.  (On P-256 the check
+    is structural: the curve has prime order, so every representable
+    point qualifies.)
     """
     for src, tgt in zip(sources, targets):
         if src.Y is not None or tgt.Y is not None:
             return False
         for component in (src.R, src.c, tgt.R, tgt.c):
-            if jacobi(component.value, group.p) != 1:
+            if not group.is_prime_order(component):
                 return False
     weights = _batch_weights(len(sources), rng)
     s = sum(w * r for w, r in zip(weights, rands)) % group.q
@@ -128,8 +130,8 @@ class ShuffleProof:
 
 
 def _challenge_bits(
-    group: Group,
-    public_key: GroupElement,
+    group: GroupBackend,
+    public_key,
     inputs: Sequence[AtomCiphertext],
     outputs: Sequence[AtomCiphertext],
     intermediates: Sequence[Sequence[AtomCiphertext]],
@@ -149,8 +151,8 @@ def _challenge_bits(
 
 
 def prove_shuffle(
-    group: Group,
-    public_key: GroupElement,
+    group: GroupBackend,
+    public_key,
     inputs: Sequence[AtomCiphertext],
     outputs: Sequence[AtomCiphertext],
     perm: Sequence[int],
@@ -200,8 +202,8 @@ def prove_shuffle(
 
 
 def verify_shuffle(
-    group: Group,
-    public_key: GroupElement,
+    group: GroupBackend,
+    public_key,
     inputs: Sequence[AtomCiphertext],
     outputs: Sequence[AtomCiphertext],
     proof: ShuffleProof,

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.crypto.groups import Group, GroupElement
+from repro.crypto.groups import GroupBackend as Group, GroupElement
 
 # A statement row: (target P_j, bases [B_j1 ... B_jk]).  A base of None
 # means the corresponding witness does not appear in this row (exponent

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.crypto.elgamal import AtomCiphertext
-from repro.crypto.groups import Group, GroupElement
+from repro.crypto.groups import GroupBackend as Group, GroupElement
 from repro.crypto.secret_sharing import DvssResult, Share, lagrange_coefficient
 
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.elgamal import AtomCiphertext, AtomElGamal
-from repro.crypto.groups import DeterministicRng, Group, GroupElement
+from repro.crypto.groups import DeterministicRng, GroupBackend as Group, GroupElement
 from repro.crypto.shuffle_proof import batch_rerand_check
 
 
