@@ -7,7 +7,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test bench-smoke parity stream-smoke clean
+.PHONY: test-fast test bench-smoke parity stream-smoke net-smoke clean
 
 ## Fast suite: everything but the slow-marked benchmarks/sweeps (~35 s).
 test-fast:
@@ -31,6 +31,14 @@ parity:
 ## End-to-end stream on the paper's curve with the demo fault schedule.
 stream-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli run-stream --rounds 6 --group p256
+
+## One full TCP-loopback round (every node behind a local socket) on
+## the realistic Schnorr group and on the paper's curve.
+net-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli round --transport tcp --group modp2048 \
+		--users 2 --groups 2 --group-size 2 --iterations 2
+	PYTHONPATH=src $(PYTHON) -m repro.cli round --transport tcp --group p256 \
+		--users 4 --groups 2 --iterations 3
 
 clean:
 	rm -rf src/repro_atom.egg-info build .pytest_cache

@@ -22,20 +22,19 @@ def main() -> None:
         message_size=24,
         crypto_group="TEST",  # 128-bit Schnorr group
     )
-    deployment = AtomDeployment(config)
+    with AtomDeployment(config) as deployment:
+        print(f"deployment: {config.num_groups} groups of {config.group_size} "
+              f"servers, {config.iterations} mixing iterations, {config.variant} variant")
+        print(f"payload: {deployment.spec.payload_size} bytes "
+              f"({deployment.spec.elements_per_message} group elements/message)\n")
 
-    print(f"deployment: {config.num_groups} groups of {config.group_size} "
-          f"servers, {config.iterations} mixing iterations, {config.variant} variant")
-    print(f"payload: {deployment.spec.payload_size} bytes "
-          f"({deployment.spec.elements_per_message} group elements/message)\n")
+        rnd = deployment.start_round(round_id=0)
+        messages = [f"anonymous message #{i}".encode() for i in range(8)]
+        for index, message in enumerate(messages):
+            user = deployment.submit_trap(rnd, message, entry_gid=index % 2)
+            print(f"user {user} -> entry group {index % 2}: {message.decode()}")
 
-    rnd = deployment.start_round(round_id=0)
-    messages = [f"anonymous message #{i}".encode() for i in range(8)]
-    for index, message in enumerate(messages):
-        user = deployment.submit_trap(rnd, message, entry_gid=index % 2)
-        print(f"user {user} -> entry group {index % 2}: {message.decode()}")
-
-    result = deployment.run_round(rnd)
+        result = deployment.run_round(rnd)
 
     print(f"\nround {'SUCCEEDED' if result.ok else 'ABORTED: ' + result.abort_reason}")
     print(f"traps checked: {result.num_traps_checked}, "

@@ -15,7 +15,7 @@ import sys
 
 
 def cmd_round(args: argparse.Namespace) -> int:
-    """Run a real in-process protocol round."""
+    """Run a real protocol round over the selected transport."""
     from repro.core import AtomDeployment, DeploymentConfig
 
     config = DeploymentConfig(
@@ -27,21 +27,23 @@ def cmd_round(args: argparse.Namespace) -> int:
         message_size=args.message_size,
         crypto_group=args.crypto_group,
         parallelism=args.parallelism,
+        transport=args.transport,
     )
-    deployment = AtomDeployment(config)
-    rnd = deployment.start_round(0)
-    unit = deployment.required_user_multiple()
-    users = -(-args.users // unit) * unit
-    if users != args.users:
-        print(f"(padding {args.users} -> {users} users for even batches)")
-    for i in range(users):
-        message = f"user {i} says hi".encode()[: args.message_size]
-        if args.variant == "trap":
-            deployment.submit_trap(rnd, message, entry_gid=i % args.groups)
-        else:
-            deployment.submit_plain(rnd, message, entry_gid=i % args.groups)
-    result = deployment.run_round(rnd)
-    print(f"round: {'ok' if result.ok else 'ABORTED: ' + result.abort_reason}")
+    with AtomDeployment(config) as deployment:
+        rnd = deployment.start_round(0)
+        unit = deployment.required_user_multiple()
+        users = -(-args.users // unit) * unit
+        if users != args.users:
+            print(f"(padding {args.users} -> {users} users for even batches)")
+        for i in range(users):
+            message = f"user {i} says hi".encode()[: args.message_size]
+            if args.variant == "trap":
+                deployment.submit_trap(rnd, message, entry_gid=i % args.groups)
+            else:
+                deployment.submit_plain(rnd, message, entry_gid=i % args.groups)
+        result = deployment.run_round(rnd)
+    print(f"round: {'ok' if result.ok else 'ABORTED: ' + result.abort_reason} "
+          f"({args.transport} transport)")
     print(f"messages out: {len(result.messages)}, "
           f"bytes moved: {result.bytes_sent_total:,}")
     for message in result.messages[:10]:
@@ -76,6 +78,7 @@ def cmd_run_stream(args: argparse.Namespace) -> int:
         message_size=args.message_size,
         crypto_group=args.crypto_group,
         parallelism=args.parallelism,
+        transport=args.transport,
     )
     from repro.core.pipeline import FaultScheduleError
 
@@ -103,7 +106,8 @@ def cmd_run_stream(args: argparse.Namespace) -> int:
         for event in schedule.events:
             print(f"  {event.describe()}")
     try:
-        report = engine.run()
+        with engine:
+            report = engine.run()
     except FaultScheduleError as exc:
         # e.g. an event addressing a server id that never existed —
         # only resolvable once the fleet is live
@@ -160,6 +164,21 @@ def cmd_group_size(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_list_groups(args: argparse.Namespace) -> int:
+    """List the registered group backends and their element sizes."""
+    from repro.crypto.groups import available_groups, get_group
+
+    print(f"{'name':10s}  {'element':>7s}  {'scalar':>6s}  {'payload':>7s}")
+    for name in available_groups():
+        group = get_group(name)
+        scalar_bytes = (group.q.bit_length() + 7) // 8
+        print(
+            f"{name:10s}  {group.element_bytes:6d}B  {scalar_bytes:5d}B  "
+            f"{group.params.message_bytes:6d}B"
+        )
+    return 0
+
+
 def cmd_costs(args: argparse.Namespace) -> int:
     """§7 deployment cost estimate."""
     from repro.analysis.costs import estimate_server_cost
@@ -176,10 +195,36 @@ def cmd_costs(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.crypto.groups import available_groups
+    from repro.net.transport import TRANSPORTS
+
     parser = argparse.ArgumentParser(
         prog="repro", description="Atom (SOSP 2017) reproduction CLI"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_group_arg(p, default):
+        # Choices come from the backend registry, so a backend
+        # registered via repro.crypto.groups.register_backend is
+        # immediately drivable from the CLI.
+        p.add_argument(
+            "--group",
+            "--crypto-group",
+            dest="crypto_group",
+            type=str.upper,
+            choices=available_groups(),
+            default=default,
+            help="group backend from the registry (see `repro list-groups`)",
+        )
+
+    def add_transport_arg(p):
+        p.add_argument(
+            "--transport",
+            choices=list(TRANSPORTS),
+            default="inproc",
+            help="how nodes exchange envelopes: zero-copy in-process "
+            "dispatch, or each node behind a loopback TCP socket",
+        )
 
     p_round = sub.add_parser("round", help="run a real protocol round")
     p_round.add_argument("--users", type=int, default=8)
@@ -188,19 +233,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_round.add_argument("--variant", choices=["basic", "nizk", "trap"], default="trap")
     p_round.add_argument("--iterations", type=int, default=4)
     p_round.add_argument("--message-size", type=int, default=24)
-    p_round.add_argument(
-        "--group",
-        "--crypto-group",
-        dest="crypto_group",
-        default="TEST",
-        help="group backend from the registry (e.g. toy, test, modp2048, p256)",
-    )
+    add_group_arg(p_round, "TEST")
     p_round.add_argument(
         "--parallelism",
         type=int,
         default=1,
         help="worker processes for mixing one layer's groups (1 = serial)",
     )
+    add_transport_arg(p_round)
     p_round.set_defaults(func=cmd_round)
 
     p_stream = sub.add_parser(
@@ -216,17 +256,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--variant", choices=["basic", "nizk", "trap"], default="trap")
     p_stream.add_argument("--iterations", type=int, default=4)
     p_stream.add_argument("--message-size", type=int, default=24)
-    p_stream.add_argument(
-        "--group",
-        "--crypto-group",
-        dest="crypto_group",
-        default="TOY",
-        help="group backend from the registry (e.g. toy, modp2048, p256)",
-    )
+    add_group_arg(p_stream, "TOY")
     p_stream.add_argument("--parallelism", type=int, default=1)
+    add_transport_arg(p_stream)
     # default seed chosen so the demo schedule's round-5 tampering is
     # caught by the traps (an honest coin otherwise evades w.p. 1/2)
-    p_stream.add_argument("--seed", default="atom-stream")
+    p_stream.add_argument("--seed", default="atom-rpc")
     p_stream.add_argument(
         "--fault-schedule",
         default=DEFAULT_STREAM_FAULTS,
@@ -244,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--application", choices=["microblog", "dialing"], default="microblog"
     )
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_groups = sub.add_parser(
+        "list-groups", help="list registered group backends and sizes"
+    )
+    p_groups.set_defaults(func=cmd_list_groups)
 
     p_gs = sub.add_parser("group-size", help="anytrust/many-trust group sizing")
     p_gs.add_argument("--f", type=float, default=0.2)

@@ -42,6 +42,7 @@ from repro.crypto.secret_sharing import DvssProtocol
 from repro.crypto.threshold import ThresholdElGamal
 from repro.crypto.vector import (
     CiphertextVector,
+    VectorShuffleProof,
     prove_vector_shuffle,
     reencrypt_vector,
     shuffle_vectors,
@@ -92,6 +93,10 @@ class MixAudit:
     reencs_verified: int = 0
     tamperings: List[Tuple[int, str]] = field(default_factory=list)
     bytes_sent: int = 0
+    #: the last participant's shuffle-proof NIZK (verified variants
+    #: only) — the evidence a group attaches to its mix-layer hand-off
+    #: envelope so neighbours/auditors can re-check (Algorithm 2, 3b)
+    final_shuffle_proof: Optional["VectorShuffleProof"] = None
 
 
 class GroupContext:
@@ -227,6 +232,7 @@ class GroupContext:
                 audit.shuffles_verified += len(participants) - 1
                 if not ok:
                     raise ProtocolAbort(self.gid, server.server_id, "shuffle")
+                audit.final_shuffle_proof = proof
             current = tampered
 
         # Step 2 — Divide (Algorithm 1/2, step 2).
@@ -298,6 +304,7 @@ class GroupContext:
             audit.shuffles_verified += len(participants) - 1
             if not ok:
                 raise ProtocolAbort(self.gid, server.server_id, "shuffle")
+            audit.final_shuffle_proof = proof
             current = tampered
 
         # Step 2 — divide.
@@ -478,7 +485,9 @@ class GroupContext:
 
 # ---------------------------------------------------------------------------
 # Parallel group mixing (paper Fig. 7: one layer's groups are independent,
-# so their shuffle + proof work scales across cores).
+# so their shuffle + proof work scales across cores).  Dispatch lives in
+# repro.net.nodes.ServerNode (the MIX_PENDING / MIX_COLLECT flow); only
+# the picklable worker entry point is defined here.
 # ---------------------------------------------------------------------------
 
 
@@ -499,24 +508,3 @@ def _parallel_mix_worker(payload):
     return ctx.gid, batches, audit
 
 
-def mix_layer_parallel(
-    executor,
-    tasks: Sequence[Tuple["GroupContext", List[CiphertextVector], List[Optional[GroupElement]]]],
-    use_reenc_proofs: bool,
-    rng: Optional[DeterministicRng] = None,
-):
-    """Dispatch one layer's independent group mixes onto ``executor``.
-
-    ``tasks`` is ``[(ctx, vectors, next_keys), ...]``; returns
-    ``[(gid, batches, audit), ...]`` in task order.  When a
-    deterministic ``rng`` is supplied, each group gets a derived seed
-    (drawn in task order), so parallel rounds are reproducible even
-    though the groups no longer share one sequential randomness stream.
-    ``ProtocolAbort`` / ``GroupStalled`` raised in workers propagate.
-    """
-    payloads = []
-    for ctx, vectors, next_keys in tasks:
-        seed = rng.randbytes(32) if rng is not None else None
-        payloads.append((ctx, vectors, next_keys, use_reenc_proofs, seed))
-    futures = [executor.submit(_parallel_mix_worker, p) for p in payloads]
-    return [f.result() for f in futures]

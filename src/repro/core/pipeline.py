@@ -329,6 +329,16 @@ class StreamEngine:
         #: per round: user ids injected by scheduled user attacks
         self._malicious_uids: Dict[int, List[int]] = {}
 
+    def close(self) -> None:
+        """Release the deployment's pool and transport."""
+        self.deployment.close()
+
+    def __enter__(self) -> "StreamEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def _validate_schedule(self, config: DeploymentConfig) -> None:
         """Reject events that can never apply, before the stream starts.
 
@@ -637,9 +647,13 @@ class StreamEngine:
                 report.rounds.append(stats)
                 # The round is settled; drop its retained submissions so
                 # a sustained stream holds O(1) rounds of intake, not
-                # O(rounds).  (Attack uids stay: they are a few ints per
+                # O(rounds), and release its node endpoints so the TCP
+                # transport does not accumulate one listener set per
+                # round.  (Attack uids stay: they are a few ints per
                 # *scheduled* event, and tests read them post-run.)
                 self._honest.pop(r, None)
+                if rnd.coordinator is not None:
+                    rnd.coordinator.release()
                 rnd, stats = next_rnd, next_stats
         finally:
             self.deployment.close()

@@ -18,13 +18,21 @@
    counted; the trustees release the decryption key only if every
    check passes, after which the inner ciphertexts are opened.
 
-The functional implementation runs every server in-process; the
-instrumented byte counters feed the bandwidth analysis of §6.2.
+Since the message-driven redesign the deployment no longer touches
+group objects directly: every round gets a
+:class:`~repro.net.coordinator.Coordinator` that drives
+:class:`~repro.net.nodes.ServerNode`/``TrusteeNode`` services over a
+:class:`~repro.net.transport.Transport` (``DeploymentConfig.transport``:
+zero-copy in-process by default, loopback TCP for the real service
+boundary).  ``submit_*`` builds the client-side submission and ships it
+as a SUBMIT envelope; :class:`MixingRun` is a thin adapter that steps
+the coordinator layer by layer so the stream engine's recovery hooks
+keep working.  The instrumented byte counters feed the bandwidth
+analysis of §6.2.
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,20 +40,12 @@ from repro.core import messages as fmt
 from repro.core.blame import BlameReport, identify_malicious_users
 from repro.core.client import Client, Submission, TrapSubmission
 from repro.core.directory import Directory, DirectoryConfig, make_fleet
-from repro.core.group import (
-    GroupContext,
-    GroupStalled,
-    MixAudit,
-    ProtocolAbort,
-    mix_layer_parallel,
-)
+from repro.core.group import GroupContext, GroupStalled, MixAudit, ProtocolAbort
 from repro.core.server import AtomServer
-from repro.core.trustees import GroupReport, KeyWithheld, TrusteeGroup
+from repro.core.trustees import TrusteeGroup
 from repro.crypto.beacon import RandomnessBeacon
-from repro.crypto.commit import commit
 from repro.crypto.groups import DeterministicRng, GroupBackend as Group, get_group
-from repro.crypto.kem import cca2_decrypt
-from repro.crypto.vector import CiphertextVector, plaintext_of
+from repro.crypto.vector import CiphertextVector
 from repro.topology import IteratedButterflyNetwork, PermutationNetwork, SquareNetwork
 
 VARIANTS = ("basic", "nizk", "trap")
@@ -79,14 +79,21 @@ class DeploymentConfig:
     #: worker processes for mixing one layer's independent groups
     #: (1 = serial, the paper's horizontal-scaling claim of Fig. 7)
     parallelism: int = 1
+    #: how envelopes move between nodes: "inproc" (zero-copy direct
+    #: dispatch) or "tcp" (each node behind a loopback asyncio socket)
+    transport: str = "inproc"
 
     def __post_init__(self) -> None:
+        from repro.net.transport import TRANSPORTS
+
         if self.variant not in VARIANTS:
             raise ValueError(f"variant must be one of {VARIANTS}")
         if self.mode == "anytrust" and self.h != 1:
             raise ValueError("anytrust deployments have h = 1")
         if self.parallelism < 1:
             raise ValueError("parallelism must be >= 1")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}")
 
 
 class InnerPayloadForger:
@@ -149,22 +156,26 @@ class Round:
         self.topology = topology
         self.trustees = trustees
         self.payload_size = payload_size
+        #: the round's envelope-driven orchestrator (set by
+        #: AtomDeployment.start_round once the nodes are registered)
+        self.coordinator = None
         #: this round's attacker-payload builder (trap variant).  Kept on
         #: the Round rather than only on the shared contexts: a stream
         #: reuses one context list across rounds whose trustee keys
         #: differ, so each mixing layer re-installs its own round's
-        #: forger before running (see MixingRun.run_layer).
+        #: forger before running (Coordinator._sync_contexts).
         self.forger: Optional[InnerPayloadForger] = None
-        #: per-gid collected vectors awaiting mixing
+        #: per-gid intake mirror of the node-side holdings (the nodes
+        #: hold the authoritative copies behind the transport; this
+        #: client-side view feeds dummy-padding targets and tests)
         self.holdings: Dict[int, List[CiphertextVector]] = {
             ctx.gid: [] for ctx in contexts
         }
-        #: per-gid trap commitments registered at submission time
+        #: per-gid trap commitments registered at submission time (the
+        #: same client-side mirror; nodes check traps against theirs)
         self.commitments: Dict[int, List[bytes]] = {ctx.gid: [] for ctx in contexts}
         #: user id -> (gid, trap submission) for blame
         self.trap_submissions: Dict[int, Tuple[int, TrapSubmission]] = {}
-        #: duplicate-submission filter per entry group
-        self._seen: Dict[int, set] = {ctx.gid: set() for ctx in contexts}
         self._next_user_id = 0
 
     def context(self, gid: int) -> GroupContext:
@@ -204,6 +215,9 @@ class AtomDeployment:
         #: lazily-created mixing worker pool, reused across rounds so
         #: repeated run_round calls don't pay process startup each time
         self._pool = None
+        #: lazily-created transport, shared by every round's coordinator
+        #: (TCP keeps its event loop and sockets warm across a stream)
+        self._transport = None
 
     def _mixing_pool(self):
         if self.config.parallelism > 1 and self._pool is None:
@@ -212,11 +226,28 @@ class AtomDeployment:
             self._pool = ProcessPoolExecutor(max_workers=self.config.parallelism)
         return self._pool
 
+    def transport(self):
+        """The deployment's :class:`~repro.net.transport.Transport`."""
+        if self._transport is None:
+            from repro.net.transport import make_transport
+
+            self._transport = make_transport(self.config.transport, self.group)
+        return self._transport
+
     def close(self) -> None:
-        """Shut down the mixing worker pool (if one was created)."""
+        """Shut down the mixing worker pool and the transport."""
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    def __enter__(self) -> "AtomDeployment":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- round lifecycle ---------------------------------------------------
 
@@ -262,6 +293,9 @@ class AtomDeployment:
             )
             for ctx in contexts:
                 ctx.forge_payload_fn = rnd.forger
+        from repro.net.coordinator import Coordinator
+
+        rnd.coordinator = Coordinator(self, rnd, self.transport())
         return rnd
 
     def messages_per_group(self, num_users: int) -> int:
@@ -349,14 +383,25 @@ class AtomDeployment:
         submissions: List[Submission],
         trap_commitment: Optional[bytes],
     ) -> int:
-        ctx = rnd.context(gid)
+        """Ship the submission(s) to the entry group's node as a SUBMIT
+        envelope; the node verifies the EncProofs and rejects exact
+        duplicates (raised here as ``ValueError`` with its reason).
+        """
+        from repro.net import envelopes as ev
+
+        if trap_commitment is not None:
+            payload = ev.SubmitTrap(
+                TrapSubmission(
+                    pair=(submissions[0], submissions[1]),
+                    trap_commitment=trap_commitment,
+                    gid=gid,
+                )
+            )
+        else:
+            payload = ev.SubmitPlain(gid=gid, submission=submissions[0])
+        rnd.coordinator.submit(payload, gid)
+        # Client-side mirror: padding targets and tests read these.
         for submission in submissions:
-            if not submission.verify(self.group, ctx.public_key, gid):
-                raise ValueError("EncProof verification failed at entry")
-            fingerprint = submission.vector.to_bytes()
-            if fingerprint in rnd._seen[gid]:
-                raise ValueError("duplicate ciphertext submission rejected")
-            rnd._seen[gid].add(fingerprint)
             rnd.holdings[gid].append(submission.vector)
         if trap_commitment is not None:
             rnd.commitments[gid].append(trap_commitment)
@@ -429,106 +474,6 @@ class AtomDeployment:
             return run.abort(failure)
         return run.finish()
 
-    # -- exit protocols -------------------------------------------------------------
-
-    def _plain_exit(
-        self, payloads_by_gid: Dict[int, List[bytes]], result: RoundResult
-    ) -> RoundResult:
-        for gid in sorted(payloads_by_gid):
-            for payload in payloads_by_gid[gid]:
-                if fmt.is_dummy_payload(payload):
-                    continue  # cover traffic, discarded at exit (§3)
-                try:
-                    result.messages.append(fmt.parse_plain_payload(payload))
-                except fmt.MessageFormatError:
-                    result.aborted = True
-                    result.abort_reason = "malformed payload at exit"
-                    result.offending_groups.append(gid)
-        return result
-
-    def _trap_exit(
-        self,
-        rnd: Round,
-        payloads_by_gid: Dict[int, List[bytes]],
-        result: RoundResult,
-    ) -> RoundResult:
-        """§4.4: sort traps and inner ciphertexts, check, release, open."""
-        cfg = self.config
-        num_groups = cfg.num_groups
-
-        # Last servers sort their outputs and forward:
-        traps_for_gid: Dict[int, List[bytes]] = {g: [] for g in range(num_groups)}
-        inners_for_gid: Dict[int, List[bytes]] = {g: [] for g in range(num_groups)}
-        malformed_from: List[int] = []
-        for gid in sorted(payloads_by_gid):
-            for payload in payloads_by_gid[gid]:
-                if fmt.is_trap_payload(payload):
-                    trap_gid, _ = fmt.parse_trap_payload(payload)
-                    if 0 <= trap_gid < num_groups:
-                        traps_for_gid[trap_gid].append(payload)
-                    else:
-                        malformed_from.append(gid)
-                elif fmt.is_inner_payload(payload):
-                    # Universal-hash load balancing of inner ciphertexts.
-                    digest = hashlib.sha3_256(payload).digest()
-                    target = int.from_bytes(digest[:8], "big") % num_groups
-                    inners_for_gid[target].append(payload)
-                else:
-                    malformed_from.append(gid)
-
-        # Each group checks its traps against its commitments and its
-        # assigned inner ciphertexts for duplicates, then reports.
-        seen_inner: set = set()
-        global_duplicate = False
-        for gid in range(num_groups):
-            expected = {bytes(c) for c in rnd.commitments[gid]}
-            got = {commit(t) for t in traps_for_gid[gid]}
-            traps_ok = expected == got and len(traps_for_gid[gid]) == len(
-                rnd.commitments[gid]
-            )
-            inner_ok = gid not in malformed_from
-            for inner in inners_for_gid[gid]:
-                if inner in seen_inner:
-                    inner_ok = False
-                    global_duplicate = True
-                seen_inner.add(inner)
-            rnd.trustees.submit_report(
-                GroupReport(
-                    gid=gid,
-                    traps_ok=traps_ok,
-                    inner_ok=inner_ok,
-                    num_traps=len(traps_for_gid[gid]),
-                    num_inner=len(inners_for_gid[gid]),
-                )
-            )
-        result.num_traps_checked = sum(len(t) for t in traps_for_gid.values())
-
-        try:
-            rnd.trustees.evaluate(expected_groups=num_groups)
-        except KeyWithheld as withheld:
-            result.aborted = True
-            result.abort_reason = str(withheld)
-            result.offending_groups = withheld.offending_gids
-            return result
-
-        secret = rnd.trustees.secret_key()
-        for gid in range(num_groups):
-            for payload in inners_for_gid[gid]:
-                inner = fmt.parse_inner_payload(self.group, payload)
-                try:
-                    padded = cca2_decrypt(self.group, secret, inner)
-                    message = fmt.unpad_payload(padded)
-                    marker = DUMMY_MAGIC[: self.config.message_size]
-                    if message.startswith(marker):
-                        continue  # trap-variant cover dummy
-                    result.messages.append(message)
-                except Exception:
-                    # IND-CCA2: a mauled inner ciphertext fails to open.
-                    result.aborted = True
-                    result.abort_reason = "inner ciphertext failed authentication"
-                    result.offending_groups.append(gid)
-        return result
-
     # -- blame -----------------------------------------------------------------------
 
     def blame(self, rnd: Round) -> BlameReport:
@@ -537,14 +482,17 @@ class AtomDeployment:
 
 
 class MixingRun:
-    """Stepwise executor of one round's T mixing iterations.
+    """Stepwise driver of one round's T mixing iterations.
 
-    One :meth:`run_layer` call mixes one layer of the permutation
-    network.  Holdings advance only when a layer completes, so a layer
-    that raises :class:`GroupStalled` leaves the run's state untouched —
-    the caller can recover the stalled group through its buddies (§4.5),
+    A thin adapter over the round's
+    :class:`~repro.net.coordinator.Coordinator`: one :meth:`run_layer`
+    call mixes one layer of the permutation network over envelopes.
+    Node holdings advance only when a layer commits, so a layer that
+    raises :class:`GroupStalled` leaves every node untouched — the
+    caller can recover the stalled group through its buddies (§4.5),
     swap the restored context into ``rnd.contexts``, and call
-    :meth:`run_layer` again to retry the same layer.  After the final
+    :meth:`run_layer` again to retry the same layer (the coordinator
+    re-syncs node contexts at every layer start).  After the final
     layer, :meth:`finish` runs the exit protocol.
     """
 
@@ -554,28 +502,27 @@ class MixingRun:
         rnd: Round,
         rng: Optional[DeterministicRng] = None,
     ):
-        counts = {gid: len(v) for gid, v in rnd.holdings.items()}
+        counts = rnd.coordinator.intake_counts()
         if len(set(counts.values())) > 1:
             raise ValueError(f"unbalanced entry load: {counts}")
         self.deployment = deployment
         self.rnd = rnd
         self.rng = rng
-        self.layer = 0
-        self.result = RoundResult(round_id=rnd.round_id)
-        self._holdings: Dict[int, List[CiphertextVector]] = {
-            gid: list(vs) for gid, vs in rnd.holdings.items()
-        }
-        self._pool = (
-            deployment._mixing_pool() if len(rnd.contexts) > 1 else None
-        )
+        self.coordinator = rnd.coordinator
+        self.coordinator.rng = rng
+        self.result = self.coordinator.result
+
+    @property
+    def layer(self) -> int:
+        return self.coordinator.layer
 
     @property
     def done(self) -> bool:
-        return self.layer >= self.rnd.topology.depth
+        return self.coordinator.done
 
     @property
     def remaining_layers(self) -> int:
-        return self.rnd.topology.depth - self.layer
+        return self.coordinator.remaining_layers
 
     def run_layer(self) -> None:
         """Mix one layer across all groups (Algorithm 1/2).
@@ -584,10 +531,10 @@ class MixingRun:
         advancing state; audits and holdings commit only on success.
         Tamper budgets spent inside a failed layer are restored too —
         the layer's outputs are discarded, so a tampering that happened
-        in them must not silently count as used.
+        in them must not silently count as used.  (Budget bookkeeping
+        is control-plane test instrumentation: node objects share this
+        process even under the TCP transport.)
         """
-        if self.done:
-            raise RuntimeError("all mixing layers already complete")
         budgets = [
             (server, server.tamper_budget)
             for ctx in self.rnd.contexts
@@ -595,91 +542,16 @@ class MixingRun:
             if server.is_malicious
         ]
         try:
-            self._run_layer_once()
+            self.coordinator.run_layer()
         except (ProtocolAbort, GroupStalled):
             for server, budget in budgets:
                 server.tamper_budget = budget
             raise
 
-    def _run_layer_once(self) -> None:
-        rnd, rng = self.rnd, self.rng
-        topo = rnd.topology
-        verify = self.deployment.config.variant == "nizk"
-        last = self.layer == topo.depth - 1
-
-        # Streams reuse one context list across rounds with per-round
-        # trustee keys; pin this round's forger before mixing.
-        if rnd.forger is not None:
-            for ctx in rnd.contexts:
-                ctx.forge_payload_fn = rnd.forger
-
-        incoming: Dict[int, List[CiphertextVector]] = {
-            ctx.gid: [] for ctx in rnd.contexts
-        }
-        # Gather this layer's independent per-group mix tasks.
-        tasks = []
-        for ctx in rnd.contexts:
-            vectors = self._holdings[ctx.gid]
-            if not vectors:
-                continue
-            if last:
-                next_keys: List = [None]
-                successors = [ctx.gid]
-            else:
-                successors = topo.successors(self.layer, ctx.gid)
-                next_keys = [rnd.context(succ).public_key for succ in successors]
-            tasks.append((ctx, vectors, next_keys, successors))
-
-        # Opt-in parallel path: independent groups mix across worker
-        # processes (Fig. 7 horizontal scaling); groups carrying
-        # in-process adversarial hooks stay serial.
-        results_by_gid: Dict[int, Tuple[list, MixAudit]] = {}
-        if self._pool is not None:
-            eligible = [t for t in tasks if t[0].parallel_safe()]
-            if len(eligible) > 1:
-                mixed = mix_layer_parallel(
-                    self._pool,
-                    [(ctx, vec, keys) for ctx, vec, keys, _ in eligible],
-                    use_reenc_proofs=verify,
-                    rng=rng,
-                )
-                for gid, batches, audit in mixed:
-                    results_by_gid[gid] = (batches, audit)
-
-        layer_audits: List[MixAudit] = []
-        for ctx, vectors, next_keys, successors in tasks:
-            if ctx.gid in results_by_gid:
-                batches, audit = results_by_gid[ctx.gid]
-            elif verify:
-                batches, audit = ctx.mix_with_reenc_proofs(vectors, next_keys, rng)
-            else:
-                batches, audit = ctx.mix(vectors, next_keys, verify=False, rng=rng)
-            layer_audits.append(audit)
-            for succ, batch in zip(successors, batches):
-                incoming[succ].extend(batch)
-
-        for audit in layer_audits:
-            self.result.audits.append(audit)
-            self.result.bytes_sent_total += audit.bytes_sent
-        self._holdings = incoming
-        self.layer += 1
-
     def abort(self, failure: RuntimeError) -> RoundResult:
         """Record an unrecovered :class:`ProtocolAbort`/:class:`GroupStalled`."""
-        self.result.aborted = True
-        self.result.abort_reason = str(failure)
-        self.result.offending_groups = [failure.gid]
-        return self.result
+        return self.coordinator.abort(failure)
 
     def finish(self) -> RoundResult:
         """Run the exit protocol over the fully mixed holdings."""
-        if not self.done:
-            raise RuntimeError(f"{self.remaining_layers} mixing layers remain")
-        rnd = self.rnd
-        payloads_by_gid = {
-            gid: [plaintext_of(rnd.context(gid).scheme, vec) for vec in vectors]
-            for gid, vectors in self._holdings.items()
-        }
-        if self.deployment.config.variant == "trap":
-            return self.deployment._trap_exit(rnd, payloads_by_gid, self.result)
-        return self.deployment._plain_exit(payloads_by_gid, self.result)
+        return self.coordinator.finish()

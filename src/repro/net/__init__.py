@@ -1,0 +1,40 @@
+"""Message-driven node architecture (the service boundary).
+
+- :mod:`repro.net.envelopes` — typed, versioned wire envelopes with
+  byte codecs for every inter-node interaction.
+- :mod:`repro.net.transport` — the :class:`Transport` contract with
+  the zero-copy :class:`InProcessTransport` and the socket-backed
+  :class:`TcpTransport`.
+- :mod:`repro.net.nodes` — :class:`ServerNode` / :class:`TrusteeNode`
+  services exposing ``handle(envelope) -> [envelope]``.
+- :mod:`repro.net.coordinator` — the :class:`Coordinator` that drives
+  a full round purely over envelopes.
+"""
+
+from repro.net.coordinator import Coordinator
+from repro.net.envelopes import Envelope, Kind, WireFormatError, wrap
+from repro.net.nodes import ServerNode, TrusteeNode
+from repro.net.transport import (
+    InProcessTransport,
+    TcpTransport,
+    Transport,
+    TransportError,
+    TRANSPORTS,
+    make_transport,
+)
+
+__all__ = [
+    "Coordinator",
+    "Envelope",
+    "Kind",
+    "WireFormatError",
+    "wrap",
+    "ServerNode",
+    "TrusteeNode",
+    "InProcessTransport",
+    "TcpTransport",
+    "Transport",
+    "TransportError",
+    "TRANSPORTS",
+    "make_transport",
+]

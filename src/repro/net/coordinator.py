@@ -1,0 +1,343 @@
+"""Round orchestration over envelopes.
+
+The :class:`Coordinator` re-implements the round sequence that
+``AtomDeployment`` used to run by calling group objects directly —
+intake, T mixing layers, exit, trap checks, trustee key release —
+purely in terms of :mod:`repro.net.envelopes` messages moved by a
+:mod:`repro.net.transport`.  One coordinator drives one round; the
+stream engine creates one per round and the deployment's ``MixingRun``
+adapter drives it layer by layer so fault recovery and pipelined
+intake keep working unchanged.
+
+Layer protocol (two-phase, preserving the old ``MixingRun`` atomicity):
+
+1. ``MIX`` to every group that holds ciphertexts, in gid order.  A
+   node replies with its ``MIX_BATCH``/``MIX_SUMMARY`` set, with
+   ``MIX_PENDING`` (pooled mix in flight), or with a ``FAULT``.
+2. ``MIX_COLLECT`` drains pending pooled mixes, in gid order.
+3. Only when every group succeeded: the buffered ``MIX_BATCH``
+   envelopes are delivered to their destination nodes and
+   ``COMMIT_LAYER`` adopts them — so any ``FAULT`` leaves every node
+   at its pre-layer snapshot (``ABORT_LAYER``) and the layer can be
+   retried after §4.5 recovery.
+
+Determinism: when the round runs under a
+:class:`~repro.crypto.groups.DeterministicRng`, the coordinator draws
+one 32-byte sub-seed per (layer, group) in a fixed order and ships it
+in the ``MIX`` envelope; nodes expand it locally.  Both transports
+therefore perform byte-identical crypto, which the cross-transport
+parity tests assert end to end.
+
+Control plane vs data plane: node *objects* are created here and kept
+(they always live in this process; TCP moves only the messages), so
+test instrumentation — context replacement after buddy recovery,
+tamper-budget bookkeeping — stays direct object access, while all
+round data crosses the transport.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.core import messages as fmt
+from repro.crypto.groups import DeterministicRng
+from repro.crypto.kem import cca2_decrypt
+from repro.net import envelopes as ev
+from repro.net.envelopes import Envelope, Kind
+from repro.net.nodes import ServerNode, TrusteeNode, raise_fault
+from repro.net.transport import Transport
+
+
+class Coordinator:
+    """Drives one round of the protocol over a transport."""
+
+    def __init__(self, deployment, rnd, transport: Transport):
+        from repro.core.protocol import RoundResult
+
+        self.deployment = deployment
+        self.rnd = rnd
+        self.transport = transport
+        self.round_id = rnd.round_id
+        self.rng: Optional[DeterministicRng] = None
+        self.layer = 0
+        self.result = RoundResult(round_id=rnd.round_id)
+        self._released = False
+
+        pool = deployment._mixing_pool() if len(rnd.contexts) > 1 else None
+        self.nodes: Dict[int, ServerNode] = {
+            ctx.gid: ServerNode(
+                ctx, rnd.round_id, deployment.config.variant, pool=pool
+            )
+            for ctx in rnd.contexts
+        }
+        for gid, node in self.nodes.items():
+            transport.register(rnd.round_id, gid, node)
+        self.trustee_node: Optional[TrusteeNode] = None
+        if rnd.trustees is not None:
+            self.trustee_node = TrusteeNode(rnd.trustees, rnd.round_id)
+            transport.register(rnd.round_id, ev.TRUSTEE, self.trustee_node)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send(self, payload, dest: int) -> List[Envelope]:
+        return self.transport.request(
+            ev.wrap(payload, self.round_id, ev.COORDINATOR, dest)
+        )
+
+    def release(self) -> None:
+        """Drop this round's endpoints (idempotent; streams call it
+        once a round settles so transports don't accumulate sockets)."""
+        if not self._released:
+            self._released = True
+            self.transport.unregister_round(self.round_id)
+
+    # -- intake --------------------------------------------------------
+
+    def submit(self, payload, gid: int) -> int:
+        """Route one intake envelope; returns the accepted-ciphertext
+        count or raises ``ValueError`` with the node's reason."""
+        replies = self._send(payload, gid)
+        reply = replies[0].payload
+        if isinstance(reply, ev.SubmitErr):
+            raise ValueError(reply.reason)
+        return reply.accepted
+
+    def intake_counts(self) -> Dict[int, int]:
+        return {gid: len(node.holdings) for gid, node in self.nodes.items()}
+
+    # -- mixing --------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.layer >= self.rnd.topology.depth
+
+    @property
+    def remaining_layers(self) -> int:
+        return self.rnd.topology.depth - self.layer
+
+    def _sync_contexts(self) -> None:
+        """Control plane: adopt context swaps (§4.5 buddy recovery) and
+        pin this round's attacker-payload forger before mixing."""
+        rnd = self.rnd
+        for gid, node in self.nodes.items():
+            node.ctx = rnd.contexts[gid]
+            if rnd.forger is not None:
+                node.ctx.forge_payload_fn = rnd.forger
+
+    def run_layer(self) -> None:
+        """Mix one layer across all groups (Algorithm 1/2) atomically."""
+        if self.done:
+            raise RuntimeError("all mixing layers already complete")
+        self._sync_contexts()
+        rnd = self.rnd
+        topo = rnd.topology
+        layer = self.layer
+        last = layer == topo.depth - 1
+
+        active = [
+            gid for gid in sorted(self.nodes) if self.nodes[gid].holdings
+        ]
+        cfg = self.deployment.config
+        eligible = sum(
+            1 for gid in active if rnd.contexts[gid].parallel_safe()
+        )
+        use_pool = cfg.parallelism > 1 and len(rnd.contexts) > 1 and eligible > 1
+
+        batches: List[Envelope] = []
+        audits = []
+        pending: List[int] = []
+        try:
+            for gid in active:
+                if last:
+                    successors = (gid,)
+                    next_keys = (None,)
+                else:
+                    successors = tuple(topo.successors(layer, gid))
+                    next_keys = tuple(
+                        rnd.context(succ).public_key for succ in successors
+                    )
+                seed = self.rng.randbytes(32) if self.rng is not None else None
+                replies = self._send(
+                    ev.Mix(
+                        layer=layer, successors=successors,
+                        next_keys=next_keys, seed=seed, use_pool=use_pool,
+                    ),
+                    gid,
+                )
+                if replies and replies[0].kind is Kind.MIX_PENDING:
+                    pending.append(gid)
+                    continue
+                self._sort_mix_replies(replies, batches, audits)
+            for gid in pending:
+                replies = self._send(ev.MixCollect(layer=layer), gid)
+                self._sort_mix_replies(replies, batches, audits)
+        except Exception:
+            self._abort_layer(layer)
+            raise
+
+        # Whole layer succeeded: deliver hand-offs, then commit.  A
+        # transport failure in here is fatal to the round (nothing
+        # catches it for retry — recovery only retries GroupStalled,
+        # which is raised above, before any delivery); the best-effort
+        # ABORT_LAYER still clears staged state on reachable nodes.
+        try:
+            for env in batches:
+                self.transport.request(env)
+            for gid in sorted(self.nodes):
+                self._send(ev.CommitLayer(layer=layer), gid)
+        except Exception:
+            self._abort_layer(layer)
+            raise
+        for audit in audits:
+            self.result.audits.append(audit)
+            self.result.bytes_sent_total += audit.bytes_sent
+        self.layer += 1
+
+    def _sort_mix_replies(self, replies, batches, audits) -> None:
+        """File a node's MIX replies; FAULTs become raised exceptions."""
+        for env in replies:
+            if env.kind is Kind.FAULT:
+                raise_fault(env.payload)
+        for env in replies:
+            if env.kind is Kind.MIX_BATCH:
+                batches.append(env)
+            elif env.kind is Kind.MIX_SUMMARY:
+                audits.append(env.payload.audit)
+
+    def _abort_layer(self, layer: int) -> None:
+        for gid in sorted(self.nodes):
+            try:
+                self._send(ev.AbortLayer(layer=layer), gid)
+            except Exception:
+                pass
+
+    # -- exit ----------------------------------------------------------
+
+    def abort(self, failure: RuntimeError):
+        """Record an unrecovered protocol failure and release the
+        round's endpoints (the round is over either way)."""
+        self.result.aborted = True
+        self.result.abort_reason = str(failure)
+        self.result.offending_groups = [failure.gid]
+        self.release()
+        return self.result
+
+    def finish(self):
+        """Run the exit protocol over the fully mixed holdings."""
+        if not self.done:
+            raise RuntimeError(f"{self.remaining_layers} mixing layers remain")
+        payloads_by_gid: Dict[int, List[bytes]] = {}
+        for gid in sorted(self.nodes):
+            replies = self._send(ev.Exit(), gid)
+            payloads_by_gid[gid] = list(replies[0].payload.payloads)
+        try:
+            if self.deployment.config.variant == "trap":
+                return self._trap_exit(payloads_by_gid)
+            return self._plain_exit(payloads_by_gid)
+        finally:
+            # The round is settled: drop its endpoints so repeated
+            # run_round calls on one deployment don't accumulate node
+            # registrations (and, under TCP, listener sockets).
+            self.release()
+
+    def _plain_exit(self, payloads_by_gid: Dict[int, List[bytes]]):
+        """Basic/NIZK exit: parse payloads, drop cover dummies (§3)."""
+        result = self.result
+        for gid in sorted(payloads_by_gid):
+            for payload in payloads_by_gid[gid]:
+                if fmt.is_dummy_payload(payload):
+                    continue  # cover traffic, discarded at exit (§3)
+                try:
+                    result.messages.append(fmt.parse_plain_payload(payload))
+                except fmt.MessageFormatError:
+                    result.aborted = True
+                    result.abort_reason = "malformed payload at exit"
+                    result.offending_groups.append(gid)
+        return result
+
+    def _trap_exit(self, payloads_by_gid: Dict[int, List[bytes]]):
+        """§4.4 over envelopes: sort traps and inner ciphertexts, have
+        every entry group check and report, ask the trustees to release,
+        open.  The coordinator performs the sort-and-forward step (the
+        last servers' routing) and the *global* inner-ciphertext
+        de-duplication, which in the paper is an inter-group exchange.
+        """
+        result = self.result
+        cfg = self.deployment.config
+        num_groups = cfg.num_groups
+
+        traps_for_gid: Dict[int, List[bytes]] = {g: [] for g in range(num_groups)}
+        inners_for_gid: Dict[int, List[bytes]] = {g: [] for g in range(num_groups)}
+        malformed_from: List[int] = []
+        for gid in sorted(payloads_by_gid):
+            for payload in payloads_by_gid[gid]:
+                if fmt.is_trap_payload(payload):
+                    trap_gid, _ = fmt.parse_trap_payload(payload)
+                    if 0 <= trap_gid < num_groups:
+                        traps_for_gid[trap_gid].append(payload)
+                    else:
+                        malformed_from.append(gid)
+                elif fmt.is_inner_payload(payload):
+                    # Universal-hash load balancing of inner ciphertexts.
+                    digest = hashlib.sha3_256(payload).digest()
+                    target = int.from_bytes(digest[:8], "big") % num_groups
+                    inners_for_gid[target].append(payload)
+                else:
+                    malformed_from.append(gid)
+
+        # Global duplicate detection across the assigned inner sets.
+        seen_inner: set = set()
+        inner_ok_for_gid: Dict[int, bool] = {}
+        for gid in range(num_groups):
+            inner_ok = gid not in malformed_from
+            for inner in inners_for_gid[gid]:
+                if inner in seen_inner:
+                    inner_ok = False
+                seen_inner.add(inner)
+            inner_ok_for_gid[gid] = inner_ok
+
+        # Each entry group checks its traps and reports to the trustees.
+        for gid in range(num_groups):
+            replies = self._send(
+                ev.TrapCheck(
+                    traps=tuple(traps_for_gid[gid]),
+                    inner_ok=inner_ok_for_gid[gid],
+                    num_inner=len(inners_for_gid[gid]),
+                ),
+                gid,
+            )
+            for env in replies:
+                if env.kind is Kind.GROUP_REPORT:
+                    self.transport.request(env)  # forward to the trustees
+        result.num_traps_checked = sum(len(t) for t in traps_for_gid.values())
+
+        decision = self._send(
+            ev.KeyRequest(expected_groups=num_groups), ev.TRUSTEE
+        )[0]
+        if decision.kind is Kind.KEY_WITHHELD:
+            result.aborted = True
+            result.abort_reason = decision.payload.reason
+            result.offending_groups = list(decision.payload.offending_gids)
+            return result
+
+        from repro.core.protocol import DUMMY_MAGIC
+
+        secret = decision.payload.secret
+        group = self.deployment.group
+        for gid in range(num_groups):
+            for payload in inners_for_gid[gid]:
+                inner = fmt.parse_inner_payload(group, payload)
+                try:
+                    padded = cca2_decrypt(group, secret, inner)
+                    message = fmt.unpad_payload(padded)
+                    marker = DUMMY_MAGIC[: cfg.message_size]
+                    if message.startswith(marker):
+                        continue  # trap-variant cover dummy
+                    result.messages.append(message)
+                except Exception:
+                    # IND-CCA2: a mauled inner ciphertext fails to open.
+                    result.aborted = True
+                    result.abort_reason = "inner ciphertext failed authentication"
+                    result.offending_groups.append(gid)
+        return result

@@ -1,0 +1,309 @@
+"""Node services: the server side of the message-driven protocol.
+
+A :class:`ServerNode` hosts one mixing group (the paper's unit of
+placement: "each group handles one node per layer") behind a single
+``handle(envelope) -> [envelope]`` method; a :class:`TrusteeNode` does
+the same for the trap variant's trustee group.  Nodes own the state
+the old :class:`~repro.core.protocol.AtomDeployment` kept per group in
+its ``Round`` — holdings, the duplicate-submission filter, trap
+commitments — and mutate it only through envelopes, so a node can sit
+behind any :class:`~repro.net.transport.Transport`.
+
+Layer atomicity mirrors the old ``MixingRun`` contract: a ``MIX``
+request computes outgoing batches but does **not** advance holdings;
+the coordinator delivers ``MIX_BATCH`` envelopes and then commits the
+layer with ``COMMIT_LAYER`` only once every group succeeded, so a
+failed layer leaves every node at its pre-layer snapshot and can be
+retried (buddy recovery, §4.5).
+
+Control plane vs data plane: everything a round *routes* travels as
+envelopes.  Test instrumentation (fault injection flags, tamper-budget
+bookkeeping, context replacement after buddy recovery) remains direct
+object access by the engine — nodes always live in the coordinator's
+process even under the TCP transport, which moves only the messages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.client import Submission, TrapSubmission
+from repro.core.group import (
+    GroupContext,
+    GroupStalled,
+    ProtocolAbort,
+    _parallel_mix_worker,
+)
+from repro.core.trustees import GroupReport, KeyWithheld, TrusteeGroup
+from repro.crypto.commit import commit
+from repro.crypto.groups import DeterministicRng
+from repro.crypto.vector import plaintext_of
+from repro.net import envelopes as ev
+from repro.net.envelopes import Envelope, Kind
+
+
+def _fault_from(exc: Exception) -> ev.Fault:
+    """Translate a protocol exception into a FAULT payload."""
+    if isinstance(exc, ProtocolAbort):
+        return ev.Fault(
+            code="abort", gid=exc.gid, culprit=exc.culprit, stage=exc.stage
+        )
+    if isinstance(exc, GroupStalled):
+        return ev.Fault(
+            code="stalled", gid=exc.gid, alive=exc.alive, needed=exc.needed
+        )
+    return ev.Fault(code="error", message=repr(exc))
+
+
+def raise_fault(fault: ev.Fault) -> None:
+    """Reconstruct and raise the exception a FAULT payload describes."""
+    if fault.code == "abort":
+        raise ProtocolAbort(fault.gid, fault.culprit, fault.stage)
+    if fault.code == "stalled":
+        raise GroupStalled(fault.gid, fault.alive, fault.needed)
+    raise RuntimeError(fault.message or fault.code)
+
+
+class ServerNode:
+    """One mixing group as an addressable service."""
+
+    def __init__(
+        self,
+        ctx: GroupContext,
+        round_id: int,
+        variant: str,
+        pool=None,
+    ):
+        self.ctx = ctx
+        self.round_id = round_id
+        self.variant = variant
+        self.pool = pool
+        #: vectors awaiting the next mixing layer
+        self.holdings: List = []
+        #: trap commitments registered at submission time
+        self.commitments: List[bytes] = []
+        #: duplicate-submission filter (exact-copy replay, §2.3)
+        self._seen = set()
+        #: batches delivered for the in-flight layer, adopted on commit
+        self._pending: List = []
+        #: outstanding pooled mix: (layer, future, successors)
+        self._inflight = None
+
+    @property
+    def gid(self) -> int:
+        return self.ctx.gid
+
+    # -- dispatch ------------------------------------------------------
+
+    _HANDLERS = {
+        Kind.SUBMIT_PLAIN: "_on_submit_plain",
+        Kind.SUBMIT_TRAP: "_on_submit_trap",
+        Kind.MIX: "_on_mix",
+        Kind.MIX_COLLECT: "_on_mix_collect",
+        Kind.MIX_BATCH: "_on_mix_batch",
+        Kind.COMMIT_LAYER: "_on_commit_layer",
+        Kind.ABORT_LAYER: "_on_abort_layer",
+        Kind.EXIT: "_on_exit",
+        Kind.TRAP_CHECK: "_on_trap_check",
+    }
+
+    def handle(self, env: Envelope) -> List[Envelope]:
+        name = self._HANDLERS.get(env.kind)
+        if name is None:
+            raise ValueError(
+                f"server node {self.gid} cannot handle {env.kind.name}"
+            )
+        return getattr(self, name)(env)
+
+    def _reply(self, payload, dest: int = ev.COORDINATOR) -> Envelope:
+        return ev.wrap(payload, self.round_id, self.gid, dest)
+
+    # -- intake --------------------------------------------------------
+
+    def _accept_submissions(
+        self, subs: List[Submission], trap_commitment: Optional[bytes]
+    ) -> List[Envelope]:
+        """Every server of the entry group verifies the EncProof NIZKs
+        and exact duplicates are rejected; commitments are recorded.
+
+        Atomic: all parts are validated before any state mutates, so a
+        rejected trap pair leaves no stray vector behind — node
+        holdings and the deployment-side mirror (updated only on
+        SUBMIT_OK) can never diverge.
+        """
+        group = self.ctx.group
+        fingerprints = []
+        for sub in subs:
+            if not sub.verify(group, self.ctx.public_key, self.gid):
+                return [
+                    self._reply(
+                        ev.SubmitErr("EncProof verification failed at entry")
+                    )
+                ]
+            fingerprint = sub.vector.to_bytes()
+            if fingerprint in self._seen or fingerprint in fingerprints:
+                return [
+                    self._reply(
+                        ev.SubmitErr("duplicate ciphertext submission rejected")
+                    )
+                ]
+            fingerprints.append(fingerprint)
+        for sub, fingerprint in zip(subs, fingerprints):
+            self._seen.add(fingerprint)
+            self.holdings.append(sub.vector)
+        if trap_commitment is not None:
+            self.commitments.append(trap_commitment)
+        return [self._reply(ev.SubmitOk(accepted=len(subs)))]
+
+    def _on_submit_plain(self, env: Envelope) -> List[Envelope]:
+        payload: ev.SubmitPlain = env.payload
+        if payload.gid != self.gid:
+            return [self._reply(ev.SubmitErr("submission addressed to wrong group"))]
+        return self._accept_submissions([payload.submission], None)
+
+    def _on_submit_trap(self, env: Envelope) -> List[Envelope]:
+        sub: TrapSubmission = env.payload.submission
+        if sub.gid != self.gid:
+            return [self._reply(ev.SubmitErr("submission addressed to wrong group"))]
+        return self._accept_submissions(list(sub.pair), sub.trap_commitment)
+
+    # -- mixing --------------------------------------------------------
+
+    def _on_mix(self, env: Envelope) -> List[Envelope]:
+        payload: ev.Mix = env.payload
+        rng = DeterministicRng(payload.seed) if payload.seed is not None else None
+        if (
+            payload.use_pool
+            and self.pool is not None
+            and self.ctx.parallel_safe()
+        ):
+            # Fan the CPU-bound mix out to the shared worker pool; the
+            # coordinator collects the result after dispatching every
+            # group of the layer (Fig. 7 horizontal scaling).
+            task = (
+                self.ctx,
+                list(self.holdings),
+                list(payload.next_keys),
+                self.variant == "nizk",
+                payload.seed,
+            )
+            future = self.pool.submit(_parallel_mix_worker, task)
+            self._inflight = (payload.layer, future, payload.successors)
+            return [self._reply(ev.MixPending(layer=payload.layer))]
+        try:
+            if self.variant == "nizk":
+                batches, audit = self.ctx.mix_with_reenc_proofs(
+                    self.holdings, list(payload.next_keys), rng
+                )
+            else:
+                batches, audit = self.ctx.mix(
+                    self.holdings, list(payload.next_keys), verify=False, rng=rng
+                )
+        except (ProtocolAbort, GroupStalled) as exc:
+            return [self._reply(_fault_from(exc))]
+        return self._mix_replies(payload.layer, payload.successors, batches, audit)
+
+    def _on_mix_collect(self, env: Envelope) -> List[Envelope]:
+        payload: ev.MixCollect = env.payload
+        if self._inflight is None or self._inflight[0] != payload.layer:
+            raise RuntimeError(
+                f"node {self.gid}: no pooled mix in flight for layer "
+                f"{payload.layer}"
+            )
+        layer, future, successors = self._inflight
+        self._inflight = None
+        try:
+            _, batches, audit = future.result()
+        except (ProtocolAbort, GroupStalled) as exc:
+            return [self._reply(_fault_from(exc))]
+        return self._mix_replies(layer, successors, batches, audit)
+
+    def _mix_replies(self, layer, successors, batches, audit) -> List[Envelope]:
+        replies = [
+            self._reply(
+                ev.MixBatch(layer=layer, vectors=tuple(batch)), dest=succ
+            )
+            for succ, batch in zip(successors, batches)
+        ]
+        replies.append(self._reply(ev.MixSummary(layer=layer, audit=audit)))
+        return replies
+
+    def _on_mix_batch(self, env: Envelope) -> List[Envelope]:
+        self._pending.extend(env.payload.vectors)
+        return []
+
+    def _on_commit_layer(self, env: Envelope) -> List[Envelope]:
+        self.holdings = list(self._pending)
+        self._pending = []
+        return []
+
+    def _on_abort_layer(self, env: Envelope) -> List[Envelope]:
+        self._pending = []
+        if self._inflight is not None:
+            _, future, _ = self._inflight
+            self._inflight = None
+            future.cancel()
+        return []
+
+    # -- exit ----------------------------------------------------------
+
+    def _on_exit(self, env: Envelope) -> List[Envelope]:
+        payloads = tuple(
+            plaintext_of(self.ctx.scheme, vec) for vec in self.holdings
+        )
+        return [self._reply(ev.ExitPayloads(payloads=payloads))]
+
+    def _on_trap_check(self, env: Envelope) -> List[Envelope]:
+        """§4.4: check the traps routed back to this entry group against
+        its registered commitments and report to the trustees."""
+        payload: ev.TrapCheck = env.payload
+        expected = {bytes(c) for c in self.commitments}
+        got = {commit(t) for t in payload.traps}
+        traps_ok = expected == got and len(payload.traps) == len(self.commitments)
+        report = GroupReport(
+            gid=self.gid,
+            traps_ok=traps_ok,
+            inner_ok=payload.inner_ok,
+            num_traps=len(payload.traps),
+            num_inner=payload.num_inner,
+        )
+        return [self._reply(ev.GroupReportMsg(report), dest=ev.TRUSTEE)]
+
+
+class TrusteeNode:
+    """The trustee group as an addressable service (trap variant)."""
+
+    def __init__(self, trustees: TrusteeGroup, round_id: int):
+        self.trustees = trustees
+        self.round_id = round_id
+
+    def handle(self, env: Envelope) -> List[Envelope]:
+        if env.kind is Kind.GROUP_REPORT:
+            self.trustees.submit_report(env.payload.report)
+            return [
+                ev.wrap(ev.ReportOk(), self.round_id, ev.TRUSTEE, env.sender)
+            ]
+        if env.kind is Kind.KEY_REQUEST:
+            try:
+                shares = self.trustees.evaluate(
+                    expected_groups=env.payload.expected_groups
+                )
+            except KeyWithheld as withheld:
+                return [
+                    ev.wrap(
+                        ev.KeyWithheldMsg(
+                            reason=str(withheld),
+                            offending_gids=tuple(withheld.offending_gids),
+                        ),
+                        self.round_id, ev.TRUSTEE, env.sender,
+                    )
+                ]
+            return [
+                ev.wrap(
+                    ev.KeyRelease(
+                        secret=self.trustees.secret_key(), shares=tuple(shares)
+                    ),
+                    self.round_id, ev.TRUSTEE, env.sender,
+                )
+            ]
+        raise ValueError(f"trustee node cannot handle {env.kind.name}")

@@ -1,0 +1,322 @@
+"""Transports: how envelopes move between the coordinator and nodes.
+
+The contract is a blocking RPC primitive::
+
+    replies = transport.request(envelope)
+
+``envelope.dest`` names a logical node registered under
+``(round_id, node_id)``; the transport delivers the envelope to that
+node's ``handle`` method and returns whatever envelopes it replies
+with.  Requests are strictly ordered (one outstanding request per
+transport), which is what makes rounds deterministic under a
+:class:`~repro.crypto.groups.DeterministicRng` regardless of the
+transport in use — the cross-transport parity tests rely on it.
+
+Two implementations:
+
+- :class:`InProcessTransport` — the default.  Registered nodes live in
+  a dict and ``request`` is a direct method call; envelope payloads are
+  passed through as objects (zero copy, zero serialization), so the
+  refactored round pays only envelope construction over the old direct
+  calls.
+
+- :class:`TcpTransport` — every registered node gets its own asyncio
+  server on a loopback socket; ``request`` frames
+  ``envelope.to_bytes()`` over a persistent connection to the node's
+  port and decodes the framed replies.  This is the real service
+  boundary: everything a round needs crosses the wire as bytes, which
+  is what future multi-process sharding builds on.
+
+Frame format (TCP): ``u32 length || envelope bytes``; a request is one
+frame, a response is ``u32 count`` followed by ``count`` frames.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import socket
+import struct
+import threading
+from typing import Dict, List, Tuple
+
+from repro.crypto.groups import GroupBackend as Group
+from repro.net.envelopes import Envelope
+
+NodeKey = Tuple[int, int]  # (round_id, node_id)
+
+
+class TransportError(RuntimeError):
+    """Routing or connection failure at the transport layer."""
+
+
+class Transport(abc.ABC):
+    """Blocking request/reply delivery between registered nodes."""
+
+    name: str
+
+    @abc.abstractmethod
+    def register(self, round_id: int, node_id: int, node) -> None:
+        """Expose ``node`` (anything with ``handle(env) -> [env]``)
+        under ``(round_id, node_id)``.  Re-registering a live key swaps
+        the node behind the same endpoint (stream rekeys do this)."""
+
+    @abc.abstractmethod
+    def unregister_round(self, round_id: int) -> None:
+        """Tear down every endpoint of ``round_id`` (idempotent)."""
+
+    @abc.abstractmethod
+    def request(self, env: Envelope) -> List[Envelope]:
+        """Deliver ``env`` to its destination; return its replies."""
+
+    def close(self) -> None:  # pragma: no cover - overridden where needed
+        """Release all endpoints and connections."""
+
+
+class InProcessTransport(Transport):
+    """Zero-copy direct dispatch (the single-process fast path)."""
+
+    name = "inproc"
+
+    def __init__(self):
+        self._nodes: Dict[NodeKey, object] = {}
+
+    def register(self, round_id: int, node_id: int, node) -> None:
+        self._nodes[(round_id, node_id)] = node
+
+    def unregister_round(self, round_id: int) -> None:
+        for key in [k for k in self._nodes if k[0] == round_id]:
+            del self._nodes[key]
+
+    def request(self, env: Envelope) -> List[Envelope]:
+        try:
+            node = self._nodes[(env.round_id, env.dest)]
+        except KeyError:
+            raise TransportError(
+                f"no node {env.dest} registered for round {env.round_id}"
+            ) from None
+        return node.handle(env)
+
+    def close(self) -> None:
+        self._nodes.clear()
+
+
+_LEN = struct.Struct(">I")
+
+
+class TcpTransport(Transport):
+    """Loopback TCP: each node behind its own asyncio socket server.
+
+    The asyncio event loop runs in a daemon thread; ``register`` binds
+    a fresh server per node key and ``request`` talks to it over a
+    persistent blocking client connection.  Handlers dispatch on the
+    envelope header, so swapping the node behind a key (stream rekey)
+    needs no rebind.  Unexpected handler exceptions are returned to the
+    caller as a :class:`TransportError` carrying the repr — protocol
+    failures proper travel as FAULT envelopes, not exceptions.
+    """
+
+    name = "tcp"
+
+    def __init__(self, group: Group, host: str = "127.0.0.1"):
+        self.group = group
+        self.host = host
+        self._nodes: Dict[NodeKey, object] = {}
+        self._servers: Dict[NodeKey, Tuple[object, int]] = {}  # (server, port)
+        self._conns: Dict[NodeKey, socket.socket] = {}
+        self._loop = None
+        self._thread = None
+        self._closed = False
+
+    # -- event loop ----------------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            if self._closed:
+                raise TransportError("transport is closed")
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=loop.run_forever, name="atom-tcp-transport", daemon=True
+            )
+            thread.start()
+            self._loop, self._thread = loop, thread
+        return self._loop
+
+    def _run(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._ensure_loop()).result()
+
+    # -- server side ---------------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readexactly(_LEN.size)
+                except asyncio.IncompleteReadError:
+                    return
+                except (asyncio.CancelledError, ConnectionResetError):
+                    return  # transport shutdown / peer vanished
+                (length,) = _LEN.unpack(head)
+                raw = await reader.readexactly(length)
+                env = Envelope.from_bytes(raw, self.group)
+                node = self._nodes.get((env.round_id, env.dest))
+                if node is None:
+                    out = [self._fault_frame(env, "no such node")]
+                else:
+                    try:
+                        replies = node.handle(env)
+                        out = [r.to_bytes(self.group) for r in replies]
+                    except Exception as exc:  # crossed-wire: no raising back
+                        out = [self._fault_frame(env, repr(exc))]
+                writer.write(_LEN.pack(len(out)))
+                for frame in out:
+                    writer.write(_LEN.pack(len(frame)) + frame)
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def _start_server(self):
+        server = await asyncio.start_server(
+            self._serve_connection, host=self.host, port=0
+        )
+        port = server.sockets[0].getsockname()[1]
+        return server, port
+
+    # -- registry ------------------------------------------------------
+
+    def register(self, round_id: int, node_id: int, node) -> None:
+        key = (round_id, node_id)
+        self._nodes[key] = node
+        if key not in self._servers:
+            self._servers[key] = self._run(self._start_server())
+
+    def unregister_round(self, round_id: int) -> None:
+        for key in [k for k in list(self._servers) if k[0] == round_id]:
+            server, _ = self._servers.pop(key)
+            self._run(self._stop_server(server))
+            conn = self._conns.pop(key, None)
+            if conn is not None:
+                conn.close()
+            self._nodes.pop(key, None)
+
+    @staticmethod
+    async def _stop_server(server) -> None:
+        server.close()
+        await server.wait_closed()
+
+    def _fault_frame(self, request: Envelope, message: str) -> bytes:
+        """A serialized FAULT envelope reporting a server-side failure
+        that is not part of the protocol (unexpected exception, routing
+        miss) — surfaced client-side as :class:`TransportError`."""
+        from repro.net.envelopes import COORDINATOR, Fault, wrap
+
+        env = wrap(
+            Fault(code="transport-error", message=message),
+            request.round_id, request.dest, COORDINATOR,
+        )
+        return env.to_bytes(self.group)
+
+    # -- client side ---------------------------------------------------
+
+    def _connection(self, key: NodeKey) -> socket.socket:
+        conn = self._conns.get(key)
+        if conn is None:
+            try:
+                _, port = self._servers[key]
+            except KeyError:
+                raise TransportError(
+                    f"no node {key[1]} registered for round {key[0]}"
+                ) from None
+            conn = socket.create_connection((self.host, port))
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._conns[key] = conn
+        return conn
+
+    def request(self, env: Envelope) -> List[Envelope]:
+        key = (env.round_id, env.dest)
+        conn = self._connection(key)
+        raw = env.to_bytes(self.group)
+        try:
+            conn.sendall(_LEN.pack(len(raw)) + raw)
+            count = _LEN.unpack(self._recv_exact(conn, _LEN.size))[0]
+            replies = []
+            for _ in range(count):
+                length = _LEN.unpack(self._recv_exact(conn, _LEN.size))[0]
+                replies.append(
+                    Envelope.from_bytes(self._recv_exact(conn, length), self.group)
+                )
+        except (OSError, TransportError) as exc:
+            self._conns.pop(key, None)
+            raise TransportError(f"request to node {key} failed: {exc}") from exc
+        for reply in replies:
+            if _is_error_reply(reply):
+                raise TransportError(
+                    f"node {key} failed: {reply.payload.message}"
+                )
+        return replies
+
+    @staticmethod
+    def _recv_exact(conn: socket.socket, n: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < n:
+            chunk = conn.recv(n - len(chunks))
+            if not chunk:
+                raise TransportError("connection closed mid-frame")
+            chunks += chunk
+        return bytes(chunks)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns.values():
+            conn.close()
+        self._conns.clear()
+        if self._loop is not None:
+            for server, _ in self._servers.values():
+                try:
+                    self._run(self._stop_server(server))
+                except Exception:
+                    pass
+            self._servers.clear()
+            try:
+                self._run(self._drain_tasks())
+            except Exception:
+                pass
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+            self._loop = self._thread = None
+        self._nodes.clear()
+
+    @staticmethod
+    async def _drain_tasks() -> None:
+        """Cancel lingering connection handlers before the loop stops."""
+        tasks = [
+            t for t in asyncio.all_tasks() if t is not asyncio.current_task()
+        ]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+
+def _is_error_reply(reply: Envelope) -> bool:
+    from repro.net.envelopes import Fault, Kind
+
+    return reply.kind is Kind.FAULT and isinstance(reply.payload, Fault) and (
+        reply.payload.code == "transport-error"
+    )
+
+
+TRANSPORTS = ("inproc", "tcp")
+
+
+def make_transport(name: str, group: Group) -> Transport:
+    """Factory for ``DeploymentConfig.transport`` / CLI ``--transport``."""
+    if name == "inproc":
+        return InProcessTransport()
+    if name == "tcp":
+        return TcpTransport(group)
+    raise ValueError(f"unknown transport {name!r}; choose from {TRANSPORTS}")

@@ -33,12 +33,12 @@ def _basic_config(parallelism: int, **overrides) -> DeploymentConfig:
 
 
 def _run(config: DeploymentConfig, seed: bytes = b"parallel-test"):
-    dep = AtomDeployment(config)
-    rnd = dep.start_round(0, rng=DeterministicRng(seed + b"-setup"))
-    messages = [b"msg-%d" % i for i in range(4)]
-    for i, msg in enumerate(messages):
-        dep.submit_plain(rnd, msg, entry_gid=i % 2)
-    result = dep.run_round(rnd, rng=DeterministicRng(seed + b"-round"))
+    with AtomDeployment(config) as dep:
+        rnd = dep.start_round(0, rng=DeterministicRng(seed + b"-setup"))
+        messages = [b"msg-%d" % i for i in range(4)]
+        for i, msg in enumerate(messages):
+            dep.submit_plain(rnd, msg, entry_gid=i % 2)
+        result = dep.run_round(rnd, rng=DeterministicRng(seed + b"-round"))
     return messages, result
 
 

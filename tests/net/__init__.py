@@ -1,0 +1,1 @@
+"""Tests for the message-driven node layer (repro.net)."""
