@@ -7,7 +7,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test bench-smoke parity stream-smoke net-smoke clean
+.PHONY: test-fast test bench-smoke parity stream-smoke net-smoke persist-smoke clean
 
 ## Fast suite: everything but the slow-marked benchmarks/sweeps (~35 s).
 test-fast:
@@ -39,6 +39,12 @@ net-smoke:
 		--users 2 --groups 2 --group-size 2 --iterations 2
 	PYTHONPATH=src $(PYTHON) -m repro.cli round --transport tcp --group p256 \
 		--users 4 --groups 2 --iterations 3
+
+## Durability end to end: run a 3-round MODP2048 stream with a state
+## dir, SIGKILL it mid-round-2, resume from the write-ahead log, and
+## require the final StreamReport to be fully ok.
+persist-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/persist_smoke.py
 
 clean:
 	rm -rf src/repro_atom.egg-info build .pytest_cache

@@ -17,6 +17,7 @@ import sys
 def cmd_round(args: argparse.Namespace) -> int:
     """Run a real protocol round over the selected transport."""
     from repro.core import AtomDeployment, DeploymentConfig
+    from repro.crypto.groups import DeterministicRng
 
     config = DeploymentConfig(
         num_servers=max(args.groups * args.group_size, 2 * args.group_size),
@@ -28,9 +29,21 @@ def cmd_round(args: argparse.Namespace) -> int:
         crypto_group=args.crypto_group,
         parallelism=args.parallelism,
         transport=args.transport,
+        state_dir=args.state_dir,
     )
+    seed = args.seed
+    if seed is None and args.state_dir:
+        # Recovery replays the round's rng draws instead of storing
+        # secret keys, so a durable round must be seeded; generate one
+        # (it lands in the write-ahead log's rng marks).
+        import secrets as _secrets
+
+        seed = _secrets.token_hex(8)
+        print(f"(--state-dir without --seed: using generated seed {seed})")
+    setup_rng = DeterministicRng(seed.encode()) if seed else None
+    mix_rng = DeterministicRng(seed.encode() + b"/mix") if seed else None
     with AtomDeployment(config) as deployment:
-        rnd = deployment.start_round(0)
+        rnd = deployment.start_round(0, rng=setup_rng)
         unit = deployment.required_user_multiple()
         users = -(-args.users // unit) * unit
         if users != args.users:
@@ -41,16 +54,21 @@ def cmd_round(args: argparse.Namespace) -> int:
                 deployment.submit_trap(rnd, message, entry_gid=i % args.groups)
             else:
                 deployment.submit_plain(rnd, message, entry_gid=i % args.groups)
-        result = deployment.run_round(rnd)
+        result = deployment.run_round(rnd, mix_rng)
     print(f"round: {'ok' if result.ok else 'ABORTED: ' + result.abort_reason} "
           f"({args.transport} transport)")
+    _print_round_result(result)
+    return 0 if result.ok else 1
+
+
+def _print_round_result(result) -> None:
+    """Shared tail of `round` and `resume` output."""
     print(f"messages out: {len(result.messages)}, "
           f"bytes moved: {result.bytes_sent_total:,}")
     for message in result.messages[:10]:
         print(" ", message)
     if len(result.messages) > 10:
         print(f"  ... and {len(result.messages) - 10} more")
-    return 0 if result.ok else 1
 
 
 #: demo schedule exercising the full robustness surface: a
@@ -79,6 +97,7 @@ def cmd_run_stream(args: argparse.Namespace) -> int:
         crypto_group=args.crypto_group,
         parallelism=args.parallelism,
         transport=args.transport,
+        state_dir=args.state_dir,
     )
     from repro.core.pipeline import FaultScheduleError
 
@@ -120,6 +139,43 @@ def cmd_run_stream(args: argparse.Namespace) -> int:
         f"{overlapped}/{max(1, len(report.rounds) - 1)} eligible rounds"
     )
     return 0 if report.ok else 1
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Continue an interrupted run from its ``--state-dir``."""
+    from repro.store.recovery import RecoveryError, RecoveryManager
+
+    try:
+        manager = RecoveryManager(args.state_dir)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"state dir: {manager.describe()}")
+    if manager.clean_shutdown:
+        print("nothing to resume (clean shutdown marker present)")
+        return 0
+    try:
+        if manager.is_stream:
+            report = manager.resume_stream()
+            print(report.format_table())
+            return 0 if report.ok else 1
+        finished = manager.finalize_round()
+        if finished is not None:
+            round_id, ok = finished
+            print(
+                f"round {round_id} already ran its exit protocol "
+                f"({'ok' if ok else 'aborted'}); clean marker written"
+            )
+            return 0 if ok else 1
+        result = manager.complete_round()
+    except RecoveryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"resumed round: {'ok' if result.ok else 'ABORTED: ' + result.abort_reason}"
+    )
+    _print_round_result(result)
+    return 0 if result.ok else 1
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -226,6 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
             "dispatch, or each node behind a loopback TCP socket",
         )
 
+    def add_state_dir_arg(p):
+        p.add_argument(
+            "--state-dir",
+            default=None,
+            help="directory for the durable state store (write-ahead "
+            "log + checkpoints); an interrupted run continues with "
+            "`repro resume --state-dir DIR`",
+        )
+
     p_round = sub.add_parser("round", help="run a real protocol round")
     p_round.add_argument("--users", type=int, default=8)
     p_round.add_argument("--groups", type=int, default=2)
@@ -241,6 +306,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for mixing one layer's groups (1 = serial)",
     )
     add_transport_arg(p_round)
+    add_state_dir_arg(p_round)
+    p_round.add_argument(
+        "--seed",
+        default=None,
+        help="deterministic rng seed (required for crash recovery; "
+        "generated automatically when --state-dir is set)",
+    )
     p_round.set_defaults(func=cmd_round)
 
     p_stream = sub.add_parser(
@@ -269,7 +341,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. 'r2.i1:fail-group:0:2;r5:tamper-group:1:0:replace_one;"
         "r8:user:duplicate_inner@1'); pass '' for a fault-free stream",
     )
+    add_state_dir_arg(p_stream)
     p_stream.set_defaults(func=cmd_run_stream)
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="continue an interrupted round or stream from its state dir",
+    )
+    p_resume.add_argument("--state-dir", required=True)
+    p_resume.set_defaults(func=cmd_resume)
 
     p_sim = sub.add_parser("simulate", help="run the performance simulator")
     p_sim.add_argument("--servers", type=int, default=1024)

@@ -330,14 +330,18 @@ class StreamEngine:
         self._malicious_uids: Dict[int, List[int]] = {}
 
     def close(self) -> None:
-        """Release the deployment's pool and transport."""
+        """Release the deployment's pool and transport (the state
+        store is flushed but stays open until ``__exit__``)."""
         self.deployment.close()
 
     def __enter__(self) -> "StreamEngine":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        # Delegate state-dir lifecycle to the deployment's context
+        # exit: flush, and on a *clean* exit a shutdown marker so the
+        # next start in this state dir never replays.
+        self.deployment.__exit__(exc_type, exc, tb)
 
     def _validate_schedule(self, config: DeploymentConfig) -> None:
         """Reject events that can never apply, before the stream starts.
@@ -452,6 +456,10 @@ class StreamEngine:
             else:
                 dep.submit_plain(rnd, message, gid, self.client)
             self._honest.setdefault(rnd.round_id, []).append((message, gid))
+            # Journaled store-side too: an abort retry after a resume
+            # needs the honest (message, gid) registry, which the
+            # encrypted intake envelopes alone cannot yield.
+            dep.store.honest_intake(rnd.round_id, gid, message)
         elif kind == "attack":
             uids = self._inject_user_attack(rnd, payload, gid)
             self._malicious_uids.setdefault(rnd.round_id, []).extend(uids)
@@ -612,54 +620,90 @@ class StreamEngine:
             self.message_fn = message_fn
         report = StreamReport()
         started = time.monotonic()
-        total = self.stream.rounds
+        self.deployment.store.stream_begin(self.stream, self.schedule_spec())
 
         try:
             rnd = self._new_round(0)
             stats = RoundStats(0)
             self._drain_intake(rnd, stats, self._plan_intake(0))
-
-            for r in range(total):
-                next_rnd = next_stats = None
-                next_plan: List[Tuple[str, object, int]] = []
-                if r + 1 < total:
-                    next_rnd = self._new_round(r + 1)
-                    next_stats = RoundStats(r + 1)
-                    next_plan = self._plan_intake(r + 1)
-
-                result = self._run_one_round(
-                    rnd, stats, next_rnd, next_stats, next_plan, apply_events=True
-                )
-                if result.aborted:
-                    # Handled before draining the leftover intake: a
-                    # blame-rekey discards the next round's epoch, so
-                    # submissions built now would be wasted crypto.
-                    result, rnd, next_rnd = self._handle_abort(
-                        result, rnd, stats, next_rnd, next_stats, next_plan
-                    )
-                # Whatever intake mixing did not absorb completes now,
-                # before the next round's own mix window opens.
-                if next_rnd is not None:
-                    self._drain_intake(next_rnd, next_stats, next_plan)
-
-                stats.ok = result.ok
-                stats.messages = list(result.messages)
-                report.rounds.append(stats)
-                # The round is settled; drop its retained submissions so
-                # a sustained stream holds O(1) rounds of intake, not
-                # O(rounds), and release its node endpoints so the TCP
-                # transport does not accumulate one listener set per
-                # round.  (Attack uids stay: they are a few ints per
-                # *scheduled* event, and tests read them post-run.)
-                self._honest.pop(r, None)
-                if rnd.coordinator is not None:
-                    rnd.coordinator.release()
-                rnd, stats = next_rnd, next_stats
+            self._stream_loop(report, rnd, stats, first=0, resumed=False)
         finally:
             self.deployment.close()
 
         report.wall_s = time.monotonic() - started
         return report
+
+    def resume_run(self, report: StreamReport, rnd: Round, stats: RoundStats,
+                   first: int) -> StreamReport:
+        """Continue an interrupted stream from recovered state.
+
+        Called by :class:`repro.store.recovery.RecoveryManager` with
+        ``report`` pre-filled with the settled rounds' journaled stats
+        and ``rnd`` rebuilt at its last checkpoint (its intake replayed;
+        its coordinator possibly mid-mixing).  The interrupted round's
+        fault events are not re-fired — they already acted before the
+        crash, and tamper budgets/fail flags are not part of the
+        durable state (see DESIGN.md on the recovery contract).
+        """
+        started = time.monotonic()
+        try:
+            self._stream_loop(report, rnd, stats, first=first, resumed=True)
+        finally:
+            self.deployment.close()
+        report.wall_s += time.monotonic() - started
+        return report
+
+    def schedule_spec(self) -> str:
+        """The schedule in its parseable grammar (journaled at stream
+        start so ``resume`` reconstructs the same schedule)."""
+        return ";".join(ev.describe() for ev in self.schedule.events)
+
+    def _stream_loop(self, report: StreamReport, rnd: Round,
+                     stats: RoundStats, first: int, resumed: bool) -> None:
+        """Rounds ``first..rounds-1``; ``rnd``/``stats`` are round
+        ``first`` with its intake already drained."""
+        total = self.stream.rounds
+        for r in range(first, total):
+            next_rnd = next_stats = None
+            next_plan: List[Tuple[str, object, int]] = []
+            if r + 1 < total:
+                next_rnd = self._new_round(r + 1)
+                next_stats = RoundStats(r + 1)
+                next_plan = self._plan_intake(r + 1)
+
+            result = self._run_one_round(
+                rnd, stats, next_rnd, next_stats, next_plan,
+                apply_events=not (resumed and r == first),
+            )
+            if result.aborted:
+                # Handled before draining the leftover intake: a
+                # blame-rekey discards the next round's epoch, so
+                # submissions built now would be wasted crypto.
+                result, rnd, next_rnd = self._handle_abort(
+                    result, rnd, stats, next_rnd, next_stats, next_plan
+                )
+            # Whatever intake mixing did not absorb completes now,
+            # before the next round's own mix window opens.
+            if next_rnd is not None:
+                self._drain_intake(next_rnd, next_stats, next_plan)
+
+            stats.ok = result.ok
+            stats.messages = list(result.messages)
+            report.rounds.append(stats)
+            # Round-boundary checkpoint: stats plus the rng position —
+            # with the next round's intake drained, this is the
+            # between-rounds resume point.
+            self.deployment.store.round_settled(stats, self.rng)
+            # The round is settled; drop its retained submissions so
+            # a sustained stream holds O(1) rounds of intake, not
+            # O(rounds), and release its node endpoints so the TCP
+            # transport does not accumulate one listener set per
+            # round.  (Attack uids stay: they are a few ints per
+            # *scheduled* event, and tests read them post-run.)
+            self._honest.pop(r, None)
+            if rnd.coordinator is not None:
+                rnd.coordinator.release()
+            rnd, stats = next_rnd, next_stats
 
     def _run_one_round(
         self,

@@ -82,6 +82,15 @@ class DeploymentConfig:
     #: how envelopes move between nodes: "inproc" (zero-copy direct
     #: dispatch) or "tcp" (each node behind a loopback asyncio socket)
     transport: str = "inproc"
+    #: directory for the durable state store (None: in-memory only —
+    #: the no-op store, so nothing below pays for durability)
+    state_dir: Optional[str] = None
+    #: fsync the write-ahead log every N appends (0: only at commit
+    #: points, which always sync regardless of this knob)
+    wal_fsync_every: int = 8
+    #: snapshot node holdings every N committed layers (1: every
+    #: commit, so recovery re-mixes nothing)
+    checkpoint_every: int = 1
 
     def __post_init__(self) -> None:
         from repro.net.transport import TRANSPORTS
@@ -189,9 +198,29 @@ class AtomDeployment:
         self,
         config: DeploymentConfig,
         servers: Optional[Sequence[AtomServer]] = None,
+        store=None,
     ):
         self.config = config
         self.group: Group = get_group(config.crypto_group)
+        # The durability hook every layer below journals through.  An
+        # injected store wins (recovery reopens an existing log);
+        # otherwise config.state_dir selects WAL-backed vs no-op.
+        if store is not None:
+            self.store = store
+        elif config.state_dir:
+            from repro.store import DurableStore
+
+            self.store = DurableStore(
+                config.state_dir,
+                self.group,
+                config=config,
+                fsync_every=config.wal_fsync_every,
+                checkpoint_every=config.checkpoint_every,
+            )
+        else:
+            from repro.store import NullStore
+
+            self.store = NullStore()
         self.servers = (
             list(servers)
             if servers is not None
@@ -235,19 +264,28 @@ class AtomDeployment:
         return self._transport
 
     def close(self) -> None:
-        """Shut down the mixing worker pool and the transport."""
+        """Shut down the mixing worker pool and the transport, and
+        flush (but keep open) the state store."""
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+        self.store.flush()
 
     def __enter__(self) -> "AtomDeployment":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+        # The context manager owns the state-dir lifecycle: a clean
+        # exit leaves a shutdown marker so the next start in the same
+        # state dir never replays; a crash (or an exception propagating
+        # out of the with-block) leaves the log replayable.
+        if exc_type is None:
+            self.store.mark_clean()
+        self.store.close()
 
     # -- round lifecycle ---------------------------------------------------
 
@@ -267,6 +305,10 @@ class AtomDeployment:
         every exit).
         """
         cfg = self.config
+        # Journal the rng state *before* the first draw: recovery seeks
+        # back here and re-forms identical contexts/trustees instead of
+        # persisting secret keys.
+        self.store.round_setup(round_id, rng, fresh=contexts is None)
         if contexts is None:
             contexts = self.directory.form_groups(round_id, cfg.num_groups, rng)
         if cfg.topology == "square":

@@ -496,6 +496,32 @@ class DeterministicRng:
         self._seed = seed
         self._counter = 0
 
+    # -- replayable state (the durable store journals these) ----------
+
+    @property
+    def seed(self) -> bytes:
+        return self._seed
+
+    @property
+    def counter(self) -> int:
+        """Blocks drawn so far.  (seed, counter) is the complete rng
+        state: the write-ahead log records it at layer commits and
+        round boundaries so crash recovery resumes the exact stream."""
+        return self._counter
+
+    def seek(self, counter: int) -> None:
+        """Jump to an absolute position previously read off ``counter``."""
+        if counter < 0:
+            raise ValueError("rng counter cannot be negative")
+        self._counter = counter
+
+    @classmethod
+    def at(cls, seed: bytes, counter: int) -> "DeterministicRng":
+        """An rng positioned at a journaled (seed, counter) state."""
+        rng = cls(seed)
+        rng.seek(counter)
+        return rng
+
     def _next_block(self) -> bytes:
         h = hashlib.sha3_256()
         h.update(self._seed)

@@ -63,11 +63,13 @@ class Coordinator:
         self.layer = 0
         self.result = RoundResult(round_id=rnd.round_id)
         self._released = False
+        self.store = deployment.store
 
         pool = deployment._mixing_pool() if len(rnd.contexts) > 1 else None
         self.nodes: Dict[int, ServerNode] = {
             ctx.gid: ServerNode(
-                ctx, rnd.round_id, deployment.config.variant, pool=pool
+                ctx, rnd.round_id, deployment.config.variant, pool=pool,
+                store=self.store,
             )
             for ctx in rnd.contexts
         }
@@ -129,6 +131,13 @@ class Coordinator:
         """Mix one layer across all groups (Algorithm 1/2) atomically."""
         if self.done:
             raise RuntimeError("all mixing layers already complete")
+        if self.layer == 0:
+            # The rng mark before the first sub-seed draw: a crash with
+            # no committed layer yet resumes mixing from here.  Layer-0
+            # retries after buddy recovery refresh the mark — the retry
+            # draws from the advanced rng, and the reader takes the
+            # latest mark.
+            self.store.mixing_begin(self.round_id, self.rng)
         self._sync_contexts()
         rnd = self.rnd
         topo = rnd.topology
@@ -193,6 +202,17 @@ class Coordinator:
             self.result.audits.append(audit)
             self.result.bytes_sent_total += audit.bytes_sent
         self.layer += 1
+        if self.store.enabled:
+            # Journal the committed layer: rng state + audits, plus a
+            # holdings snapshot per the checkpoint cadence.  Gated on
+            # `enabled` so the no-op default never builds the snapshot.
+            self.store.layer_commit(
+                self.round_id,
+                self.layer,
+                self.rng,
+                audits,
+                {gid: list(node.holdings) for gid, node in self.nodes.items()},
+            )
 
     def _sort_mix_replies(self, replies, batches, audits) -> None:
         """File a node's MIX replies; FAULTs become raised exceptions."""
@@ -220,6 +240,7 @@ class Coordinator:
         self.result.aborted = True
         self.result.abort_reason = str(failure)
         self.result.offending_groups = [failure.gid]
+        self.store.round_end(self.round_id, ok=False)
         self.release()
         return self.result
 
@@ -233,8 +254,11 @@ class Coordinator:
             payloads_by_gid[gid] = list(replies[0].payload.payloads)
         try:
             if self.deployment.config.variant == "trap":
-                return self._trap_exit(payloads_by_gid)
-            return self._plain_exit(payloads_by_gid)
+                result = self._trap_exit(payloads_by_gid)
+            else:
+                result = self._plain_exit(payloads_by_gid)
+            self.store.round_end(self.round_id, ok=result.ok)
+            return result
         finally:
             # The round is settled: drop its endpoints so repeated
             # run_round calls on one deployment don't accumulate node

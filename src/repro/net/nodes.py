@@ -73,11 +73,18 @@ class ServerNode:
         round_id: int,
         variant: str,
         pool=None,
+        store=None,
     ):
+        from repro.store import NullStore
+
         self.ctx = ctx
         self.round_id = round_id
         self.variant = variant
         self.pool = pool
+        #: durability hook: accepted intake envelopes are journaled
+        #: node-side, so the write-ahead log holds exactly the wire
+        #: bytes this node admitted — on either transport
+        self.store = store if store is not None else NullStore()
         #: vectors awaiting the next mixing layer
         self.holdings: List = []
         #: trap commitments registered at submission time
@@ -113,7 +120,16 @@ class ServerNode:
             raise ValueError(
                 f"server node {self.gid} cannot handle {env.kind.name}"
             )
-        return getattr(self, name)(env)
+        replies = getattr(self, name)(env)
+        if (
+            env.kind in (Kind.SUBMIT_PLAIN, Kind.SUBMIT_TRAP)
+            and replies
+            and replies[0].kind is Kind.SUBMIT_OK
+        ):
+            # Journal only *accepted* submissions: rejected ones left
+            # no state behind, so replay must not see them either.
+            self.store.envelope_accepted(env, self.ctx.group)
+        return replies
 
     def _reply(self, payload, dest: int = ev.COORDINATOR) -> Envelope:
         return ev.wrap(payload, self.round_id, self.gid, dest)

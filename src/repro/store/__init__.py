@@ -1,0 +1,41 @@
+"""Durable state: write-ahead log, checkpoints, crash-restart recovery.
+
+The fault story of the paper (§4.5 buddy recovery, §4.6 blame) assumes
+servers can *rejoin*; this package makes the reproduction restartable:
+
+- :mod:`repro.store.wal` — the append-only, CRC-framed log with a
+  torn-tail-tolerant reader and an fsync-batching knob.
+- :mod:`repro.store.checkpoint` — record codecs: snapshots of node
+  holdings (via the group backends' element codecs), layer commits
+  with audits, rng marks, settled-round stats.
+- :mod:`repro.store.store` — the :class:`Store` interface the protocol
+  journals through (no-op by default; :class:`DurableStore` when a
+  deployment has a ``state_dir``).
+- :mod:`repro.store.recovery` — :class:`RecoveryManager`: rebuilds a
+  deployment/round/stream from the log and re-enters the coordinator's
+  two-phase layer protocol at the exact committed layer.
+
+Import :class:`~repro.store.recovery.RecoveryManager` from its module
+(it pulls in the whole protocol stack; the store primitives here stay
+light).
+"""
+
+from repro.store.store import DurableStore, NullStore, Store
+from repro.store.wal import (
+    RecordType,
+    WalError,
+    WalRecord,
+    WalScan,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "Store",
+    "NullStore",
+    "DurableStore",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalScan",
+    "WalError",
+    "RecordType",
+]

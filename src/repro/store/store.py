@@ -1,0 +1,203 @@
+"""The store interface the protocol journals through.
+
+:class:`Store` is the injection point: :class:`~repro.net.nodes.ServerNode`,
+the :class:`~repro.net.coordinator.Coordinator`, and the
+:class:`~repro.core.pipeline.StreamEngine` call its hooks at every
+durability-relevant event.  The base class is a complete no-op — the
+default for every deployment without a ``state_dir``, so the existing
+in-memory paths pay nothing (the one hot-path hook, ``layer_commit``,
+is additionally gated on ``store.enabled`` so the no-op case does not
+even build its snapshot argument).
+
+:class:`DurableStore` appends the events to a
+:class:`~repro.store.wal.WriteAheadLog` under the deployment's state
+directory.  ``replaying`` suppresses journaling while
+:class:`~repro.store.recovery.RecoveryManager` re-executes logged
+events, so recovery never duplicates records (and a crash *during*
+recovery leaves the log byte-identical — recovery is idempotent).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.crypto.groups import GroupBackend as Group
+from repro.store import checkpoint as ck
+from repro.store.wal import RecordType, WriteAheadLog
+
+
+class Store:
+    """No-op store: the in-memory default."""
+
+    #: hot-path guard: callers may skip building snapshot arguments
+    enabled = False
+    #: True while RecoveryManager replays the log through this store
+    replaying = False
+
+    # -- journaling hooks (all no-ops here) ---------------------------
+
+    def envelope_accepted(self, env, group: Group) -> None:
+        """A node accepted an intake envelope (SUBMIT_OK reply)."""
+
+    def round_setup(self, round_id: int, rng, fresh: bool) -> None:
+        """``AtomDeployment.start_round`` is about to draw from ``rng``."""
+
+    def mixing_begin(self, round_id: int, rng) -> None:
+        """The round's first mixing layer is about to draw sub-seeds."""
+
+    def layer_commit(self, round_id, layer, rng, audits, holdings) -> None:
+        """A mixing layer committed on every node."""
+
+    def round_end(self, round_id: int, ok: bool) -> None:
+        """The round ran its exit protocol (or aborted unrecovered)."""
+
+    def stream_begin(self, stream, schedule_spec: str) -> None:
+        """A StreamEngine run is starting."""
+
+    def honest_intake(self, round_id: int, gid: int, message: bytes) -> None:
+        """One honest stream-intake unit (replayable by message)."""
+
+    def round_settled(self, stats, rng) -> None:
+        """A stream round settled (ok or not); next round's intake is
+        drained, making this the between-rounds resume point."""
+
+    # -- lifecycle ----------------------------------------------------
+
+    def mark_resume(self) -> None:
+        """Recovery finished replaying; the run continues from here."""
+
+    def mark_clean(self) -> None:
+        """Clean shutdown: the next start must not replay."""
+
+    def flush(self) -> None:
+        """Push pending records to stable storage."""
+
+    def close(self) -> None:
+        """Release the underlying file (idempotent)."""
+
+
+class NullStore(Store):
+    """Alias of the no-op base, for explicitness at call sites."""
+
+
+class DurableStore(Store):
+    """WAL-backed store rooted at a state directory."""
+
+    enabled = True
+
+    WAL_NAME = "atom.wal"
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        group: Group,
+        config=None,
+        fsync_every: int = 8,
+        checkpoint_every: int = 1,
+        fresh: bool = True,
+    ):
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.group = group
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.replaying = False
+        self._closed = False
+        wal_path = self.state_dir / self.WAL_NAME
+        if fresh:
+            # Never destroy a resumable log: re-running with a crashed
+            # run's --state-dir (the natural retry, instead of
+            # `repro resume`) rotates the old log aside rather than
+            # truncating the only copy of the journaled state.
+            self._rotate_if_resumable(wal_path)
+        self.wal = WriteAheadLog(wal_path, fsync_every=fsync_every, fresh=fresh)
+        if fresh and config is not None:
+            self._append(RecordType.META, ck.encode_meta(config))
+
+    @staticmethod
+    def _rotate_if_resumable(wal_path: Path) -> None:
+        if not wal_path.exists() or wal_path.stat().st_size == 0:
+            return
+        try:
+            scan = WriteAheadLog.read(wal_path)
+        except Exception:
+            return  # not a log at all; overwriting loses nothing
+        if scan.records and not scan.clean_shutdown:
+            backup = wal_path.with_suffix(".wal.bak")
+            n = 1
+            while backup.exists():  # never clobber an earlier backup
+                backup = wal_path.with_suffix(f".wal.bak{n}")
+                n += 1
+            wal_path.replace(backup)
+
+    def _append(self, rtype: RecordType, payload: bytes) -> None:
+        if not self.replaying and not self._closed:
+            self.wal.append(rtype, payload)
+
+    # -- journaling hooks ---------------------------------------------
+
+    def envelope_accepted(self, env, group: Group) -> None:
+        self._append(RecordType.ENVELOPE, env.to_bytes(group))
+
+    def round_setup(self, round_id: int, rng, fresh: bool) -> None:
+        self._append(
+            RecordType.ROUND_SETUP, ck.encode_rng_mark(round_id, rng, fresh)
+        )
+
+    def mixing_begin(self, round_id: int, rng) -> None:
+        self._append(
+            RecordType.ROUND_BEGIN, ck.encode_rng_mark(round_id, rng)
+        )
+
+    def layer_commit(self, round_id, layer, rng, audits, holdings) -> None:
+        self._append(
+            RecordType.LAYER_COMMIT,
+            ck.encode_layer_commit(self.group, round_id, layer, rng, audits),
+        )
+        if layer % self.checkpoint_every == 0:
+            self._append(
+                RecordType.CHECKPOINT,
+                ck.encode_checkpoint(self.group, round_id, layer, holdings),
+            )
+        if not self.replaying:
+            # A commit is a durability point: fsync regardless of the
+            # batching knob, so "committed" always means "on disk".
+            self.wal.sync()
+
+    def round_end(self, round_id: int, ok: bool) -> None:
+        self._append(RecordType.ROUND_END, ck.encode_round_end(round_id, ok))
+
+    def stream_begin(self, stream, schedule_spec: str) -> None:
+        self._append(
+            RecordType.STREAM_BEGIN,
+            ck.encode_stream_begin(stream, schedule_spec),
+        )
+
+    def honest_intake(self, round_id: int, gid: int, message: bytes) -> None:
+        self._append(RecordType.HONEST, ck.encode_honest(round_id, gid, message))
+
+    def round_settled(self, stats, rng) -> None:
+        self._append(RecordType.ROUND_DONE, ck.encode_round_stats(stats, rng))
+        if not self.replaying:
+            self.wal.sync()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def mark_resume(self) -> None:
+        self._append(RecordType.RESUME, b"")
+        if not self.replaying:
+            self.wal.sync()
+
+    def mark_clean(self) -> None:
+        self._append(RecordType.CLEAN, b"")
+        if not self.replaying:
+            self.wal.sync()
+
+    def flush(self) -> None:
+        if not self._closed:
+            self.wal.sync()
+
+    def close(self) -> None:
+        if not self._closed:
+            self.wal.close()
+            self._closed = True

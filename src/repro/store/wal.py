@@ -1,0 +1,202 @@
+"""Append-only, CRC-framed write-ahead log.
+
+The durability layer's single on-disk artifact is one log file per
+state directory (``atom.wal``).  Everything the protocol needs to come
+back from a crash is appended to it in arrival order: accepted intake
+envelopes (PR 4's versioned wire bytes, reused verbatim as the
+serialization substrate), store-local records (rng marks, layer
+commits, checkpoints, round boundaries), and lifecycle markers.
+
+Frame format::
+
+    file   := magic record*
+    magic  := b"ATWL" u8(version)
+    record := u8(type) u32(length) payload u32(crc32)
+
+where the CRC covers ``type || length || payload``.  The reader is
+tolerant of a *torn tail*: a crash mid-append leaves a partial or
+bit-damaged final record, which is detected (length overrun or CRC
+mismatch) and dropped — every record before it replays normally.  A
+corrupted record mid-file conservatively drops the rest of the log too
+(replay must not skip over a hole: later records can depend on earlier
+ones).
+
+Durability knob: ``fsync_every`` batches fsyncs — every append flushes
+the OS buffer, but the file is fsynced only every N appends (0: never,
+except on :meth:`sync`/:meth:`close`).  Commit points call
+:meth:`sync` explicitly, so a committed layer is always on disk
+regardless of the batching setting.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Union
+
+MAGIC = b"ATWL"
+WAL_VERSION = 1
+
+_FRAME_HEAD = struct.Struct(">BI")
+_CRC = struct.Struct(">I")
+
+
+class WalError(RuntimeError):
+    """The log file cannot be used at all (bad magic, wrong version)."""
+
+
+class RecordType(enum.IntEnum):
+    """The record catalogue (see DESIGN.md "Durability & crash recovery")."""
+
+    #: deployment config of the run that owns this log (json)
+    META = 1
+    #: stream-level config: StreamConfig + fault schedule + seed (json)
+    STREAM_BEGIN = 2
+    #: rng state at AtomDeployment.start_round entry (json)
+    ROUND_SETUP = 3
+    #: rng state when a round's first mixing layer starts (json)
+    ROUND_BEGIN = 4
+    #: one accepted intake envelope, verbatim wire bytes
+    ENVELOPE = 5
+    #: one honest (message, gid) intake unit of a stream round (json)
+    HONEST = 6
+    #: a committed mixing layer: rng state + the layer's audits (binary)
+    LAYER_COMMIT = 7
+    #: node holdings snapshot at a committed layer (binary)
+    CHECKPOINT = 8
+    #: a settled stream round: RoundStats + rng state (json)
+    ROUND_DONE = 9
+    #: a standalone round ran its exit protocol (json)
+    ROUND_END = 10
+    #: recovery replayed this log and the run continued after this point
+    RESUME = 11
+    #: clean shutdown — nothing to replay on the next start
+    CLEAN = 12
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One framed record as read back from disk."""
+
+    type: int  # int, not RecordType: unknown types survive a scan
+    payload: bytes
+
+
+@dataclass
+class WalScan:
+    """Result of reading a log: the intact prefix plus tail diagnosis."""
+
+    records: List[WalRecord] = field(default_factory=list)
+    truncated: bool = False
+    reason: str = ""
+    #: file offset where the intact prefix ends (== file size when not
+    #: truncated); reopening for append truncates damage back to here
+    end_offset: int = 0
+
+    @property
+    def clean_shutdown(self) -> bool:
+        """Whether the log ends in a CLEAN marker (no replay needed)."""
+        return bool(self.records) and self.records[-1].type == RecordType.CLEAN
+
+
+class WriteAheadLog:
+    """Appender for one log file (single writer per state directory)."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync_every: int = 8,
+        fresh: bool = True,
+    ):
+        self.path = Path(path)
+        self.fsync_every = max(0, fsync_every)
+        self._pending = 0
+        self._closed = False
+        exists = self.path.exists() and self.path.stat().st_size > 0
+        if fresh or not exists:
+            self._fh = open(self.path, "wb")
+            self._fh.write(MAGIC + bytes([WAL_VERSION]))
+            self._fh.flush()
+        else:
+            # Appending after a torn tail would bury every new record
+            # behind unreadable garbage (the reader stops at the first
+            # bad frame); truncate the damage back to the intact
+            # prefix first.
+            scan = WriteAheadLog.read(self.path)
+            if scan.truncated:
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(scan.end_offset)
+            self._fh = open(self.path, "ab")
+
+    def append(self, rtype: int, payload: bytes) -> None:
+        """Frame and append one record; flushes the user-space buffer
+        always, fsyncs per the batching knob."""
+        if self._closed:
+            raise WalError(f"log {self.path} is closed")
+        head = _FRAME_HEAD.pack(int(rtype), len(payload))
+        crc = zlib.crc32(head + payload) & 0xFFFFFFFF
+        self._fh.write(head + payload + _CRC.pack(crc))
+        self._fh.flush()
+        self._pending += 1
+        if self.fsync_every and self._pending >= self.fsync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the log to stable storage (commit points call this)."""
+        if not self._closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._pending = 0
+
+    def close(self) -> None:
+        if not self._closed:
+            self.sync()
+            self._fh.close()
+            self._closed = True
+
+    # -- reading -------------------------------------------------------
+
+    @staticmethod
+    def read(path: Union[str, Path]) -> WalScan:
+        """Scan a log, returning every intact record.
+
+        Torn or bit-flipped data truncates the scan at the first bad
+        frame (``truncated``/``reason`` say so); it never raises for
+        tail damage, only for a file that was never a log at all.
+        """
+        raw = Path(path).read_bytes()
+        if len(raw) < len(MAGIC) + 1 or raw[: len(MAGIC)] != MAGIC:
+            raise WalError(f"{path} is not a write-ahead log (bad magic)")
+        if raw[len(MAGIC)] != WAL_VERSION:
+            raise WalError(
+                f"{path} has log version {raw[len(MAGIC)]}, "
+                f"expected {WAL_VERSION}"
+            )
+        scan = WalScan(end_offset=len(MAGIC) + 1)
+        pos = len(MAGIC) + 1
+        while pos < len(raw):
+            if pos + _FRAME_HEAD.size > len(raw):
+                scan.truncated = True
+                scan.reason = f"torn frame header at offset {pos}"
+                break
+            rtype, length = _FRAME_HEAD.unpack_from(raw, pos)
+            body_end = pos + _FRAME_HEAD.size + length
+            if body_end + _CRC.size > len(raw):
+                scan.truncated = True
+                scan.reason = f"torn record body at offset {pos}"
+                break
+            payload = raw[pos + _FRAME_HEAD.size: body_end]
+            (crc,) = _CRC.unpack_from(raw, body_end)
+            expect = zlib.crc32(raw[pos: body_end]) & 0xFFFFFFFF
+            if crc != expect:
+                scan.truncated = True
+                scan.reason = f"crc mismatch at offset {pos}"
+                break
+            scan.records.append(WalRecord(type=rtype, payload=payload))
+            pos = body_end + _CRC.size
+            scan.end_offset = pos
+        return scan

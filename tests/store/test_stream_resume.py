@@ -1,0 +1,282 @@
+"""Stream crash-restart: kill a pipelined multi-round stream at
+awkward points (mid-intake of a later round, right after a layer
+commit, between rounds) and resume it to a fully-ok ``StreamReport``
+with every honest message of every round delivered.
+
+The stream engine checkpoints at round boundaries and the coordinator
+at layer commits, so a resumed stream keeps the settled rounds'
+journaled stats and re-enters the interrupted round at its last
+committed layer (intake replayed from the log).
+"""
+
+import pytest
+
+from repro.core import DeploymentConfig, StreamConfig, StreamEngine
+from repro.store.recovery import RecoveryError, RecoveryManager
+from repro.store.store import DurableStore
+
+ROUNDS = 3
+USERS = 4
+MSG = 8
+
+
+class SimulatedCrash(Exception):
+    """Stands in for the process dying (SIGKILL) mid-run."""
+
+
+def _config(tmp_path):
+    return DeploymentConfig(
+        num_servers=6,
+        num_groups=2,
+        group_size=2,
+        variant="trap",
+        iterations=3,
+        message_size=MSG,
+        crypto_group="TOY",
+        nizk_rounds=4,
+        state_dir=str(tmp_path),
+    )
+
+
+def _engine(tmp_path, rounds=ROUNDS):
+    return StreamEngine(
+        _config(tmp_path),
+        stream=StreamConfig(
+            rounds=rounds, users_per_round=USERS, seed=b"resume-test"
+        ),
+    )
+
+
+def _default_message(r, i):
+    return f"r{r}u{i}".encode()[:MSG]
+
+
+def _assert_all_delivered(report, rounds=ROUNDS):
+    assert report.ok
+    assert len(report.rounds) == rounds
+    for r in range(rounds):
+        for i in range(USERS):
+            assert _default_message(r, i) in report.rounds[r].messages, (
+                f"round {r} lost message of user {i}"
+            )
+
+
+@pytest.mark.parametrize("crash_round", [1, 2])
+def test_crash_during_pipelined_intake_and_resume(tmp_path, crash_round):
+    """The crash fires while round ``crash_round``'s intake is being
+    interleaved into the previous round's mixing — the messiest point:
+    two rounds are in flight at once."""
+
+    def crashing_fn(r, i):
+        if (r, i) == (crash_round, 0):
+            raise SimulatedCrash
+        return _default_message(r, i)
+
+    engine = _engine(tmp_path)
+    with pytest.raises(SimulatedCrash):
+        engine.run(message_fn=crashing_fn)
+
+    manager = RecoveryManager(tmp_path)
+    assert manager.is_stream and manager.needs_recovery()
+    report = manager.resume_stream()
+    _assert_all_delivered(report)
+
+
+def test_crash_after_layer_commit_and_resume(tmp_path, monkeypatch):
+    """Die immediately after round 1's second layer commit hits the
+    log; the resumed round must re-enter mixing at layer 2."""
+    original = DurableStore.layer_commit
+
+    def bomb(self, round_id, layer, rng, audits, holdings):
+        original(self, round_id, layer, rng, audits, holdings)
+        if round_id == 1 and layer == 2:
+            raise SimulatedCrash
+
+    monkeypatch.setattr(DurableStore, "layer_commit", bomb)
+    engine = _engine(tmp_path)
+    with pytest.raises(SimulatedCrash):
+        engine.run()
+    monkeypatch.setattr(DurableStore, "layer_commit", original)
+
+    report = RecoveryManager(tmp_path).resume_stream()
+    _assert_all_delivered(report)
+    # Round 0 settled pre-crash: its journaled stats came back verbatim.
+    assert report.rounds[0].ok and len(report.rounds[0].messages) == USERS
+
+
+def test_crash_between_rounds_and_resume(tmp_path, monkeypatch):
+    """Die right after round 0 settles (its ROUND_DONE is the last
+    record): resume re-enters at round 1, whose intake was already
+    drained during round 0's mix window."""
+    original = DurableStore.round_settled
+
+    def bomb(self, stats, rng):
+        original(self, stats, rng)
+        if stats.round_id == 0:
+            raise SimulatedCrash
+
+    monkeypatch.setattr(DurableStore, "round_settled", bomb)
+    engine = _engine(tmp_path)
+    with pytest.raises(SimulatedCrash):
+        engine.run()
+    monkeypatch.setattr(DurableStore, "round_settled", original)
+
+    report = RecoveryManager(tmp_path).resume_stream()
+    _assert_all_delivered(report)
+
+
+def test_crash_during_round_zero_intake_redoes_the_round(tmp_path):
+    """Before any mixing there is nothing to checkpoint: resume redoes
+    round 0 wholesale (fresh setup record supersedes the stale one)."""
+
+    def crashing_fn(r, i):
+        if (r, i) == (0, 2):
+            raise SimulatedCrash
+        return _default_message(r, i)
+
+    engine = _engine(tmp_path)
+    with pytest.raises(SimulatedCrash):
+        engine.run(message_fn=crashing_fn)
+
+    report = RecoveryManager(tmp_path).resume_stream()
+    _assert_all_delivered(report)
+
+
+def test_double_crash_double_resume(tmp_path, monkeypatch):
+    """Recovery is re-crashable: the resumed run dies too, and the
+    second resume still completes (latest setup/checkpoint records
+    win over the superseded first-attempt ones)."""
+
+    def crash1(r, i):
+        if (r, i) == (1, 0):
+            raise SimulatedCrash
+        return _default_message(r, i)
+
+    engine = _engine(tmp_path)
+    with pytest.raises(SimulatedCrash):
+        engine.run(message_fn=crash1)
+
+    original = DurableStore.layer_commit
+
+    def bomb(self, round_id, layer, rng, audits, holdings):
+        original(self, round_id, layer, rng, audits, holdings)
+        if round_id == 2 and layer == 1:
+            raise SimulatedCrash
+
+    monkeypatch.setattr(DurableStore, "layer_commit", bomb)
+    with pytest.raises(SimulatedCrash):
+        RecoveryManager(tmp_path).resume_stream()
+    monkeypatch.setattr(DurableStore, "layer_commit", original)
+
+    report = RecoveryManager(tmp_path).resume_stream()
+    _assert_all_delivered(report)
+
+
+def test_clean_stream_exit_never_replays(tmp_path):
+    """Satellite: the context manager owns the state-dir lifecycle —
+    a clean with-block exit writes the shutdown marker, so the next
+    start finds nothing to replay."""
+    with _engine(tmp_path, rounds=2) as engine:
+        report = engine.run()
+    assert report.ok
+
+    manager = RecoveryManager(tmp_path)
+    assert manager.clean_shutdown
+    assert not manager.needs_recovery()
+    with pytest.raises(RecoveryError, match="clean shutdown"):
+        manager.resume_stream()
+
+
+def test_completed_stream_without_marker_finalizes(tmp_path):
+    """All rounds settled but no clean marker (killed in the window
+    between the last fsynced ROUND_DONE and teardown): resume rebuilds
+    the finished report from the journaled stats and writes the
+    missing marker instead of refusing."""
+    engine = _engine(tmp_path, rounds=2)
+    report = engine.run()
+    assert report.ok  # no with-block: no clean marker written
+
+    finalized = RecoveryManager(tmp_path).resume_stream()
+    _assert_all_delivered(finalized, rounds=2)
+    # The marker landed: the next start sees a clean dir.
+    assert RecoveryManager(tmp_path).clean_shutdown
+
+
+def test_resume_keeps_legitimately_duplicate_honest_messages(tmp_path):
+    """Two users sending the identical (message, gid) pair are two
+    distinct submissions; the rebuilt honest registry (feeding §4.6
+    abort retries) must keep both, not value-dedup them."""
+
+    def duplicating_fn(r, i):
+        if (r, i) == (2, 0):
+            raise SimulatedCrash
+        return b"same-msg"[:MSG] if r == 1 else _default_message(r, i)
+
+    engine = _engine(tmp_path)
+    with pytest.raises(SimulatedCrash):
+        engine.run(message_fn=duplicating_fn)
+
+    manager = RecoveryManager(tmp_path)
+    assert manager._honest[1] == [(b"same-msg"[:MSG], i % 2) for i in range(USERS)]
+    report = manager.resume_stream(message_fn=lambda r, i: (
+        b"same-msg"[:MSG] if r == 1 else _default_message(r, i)
+    ))
+    assert report.ok
+    assert report.rounds[1].messages.count(b"same-msg"[:MSG]) == USERS
+
+
+def test_rerunning_a_crashed_state_dir_rotates_the_log(tmp_path):
+    """Re-invoking run-stream with a crashed run's --state-dir (the
+    natural retry instead of `resume`) must not destroy the resumable
+    log: it is rotated to atom.wal.bak."""
+
+    def crashing_fn(r, i):
+        if (r, i) == (1, 0):
+            raise SimulatedCrash
+        return _default_message(r, i)
+
+    engine = _engine(tmp_path)
+    with pytest.raises(SimulatedCrash):
+        engine.run(message_fn=crashing_fn)
+    crashed_bytes = (tmp_path / "atom.wal").read_bytes()
+
+    with _engine(tmp_path, rounds=2) as engine2:
+        report = engine2.run()
+    assert report.ok
+    assert (tmp_path / "atom.wal.bak").read_bytes() == crashed_bytes
+    # ... and a clean run's dir is simply truncated on reuse (no .bak churn).
+    with _engine(tmp_path, rounds=2) as engine3:
+        assert engine3.run().ok
+    assert (tmp_path / "atom.wal.bak").read_bytes() == crashed_bytes
+
+    # A second crash + rerun must not clobber the first backup.
+    engine4 = _engine(tmp_path)
+    with pytest.raises(SimulatedCrash):
+        engine4.run(message_fn=crashing_fn)
+    second_crash = (tmp_path / "atom.wal").read_bytes()
+    with _engine(tmp_path, rounds=2) as engine5:
+        assert engine5.run().ok
+    assert (tmp_path / "atom.wal.bak").read_bytes() == crashed_bytes
+    assert (tmp_path / "atom.wal.bak1").read_bytes() == second_crash
+
+
+def test_resumed_report_preserves_settled_round_stats(tmp_path):
+    """Settled rounds come back with their journaled outcome fields
+    (ok, messages, attempts) — timings included, from the log."""
+
+    def crashing_fn(r, i):
+        if (r, i) == (2, 0):
+            raise SimulatedCrash
+        return _default_message(r, i)
+
+    engine = _engine(tmp_path)
+    with pytest.raises(SimulatedCrash):
+        engine.run(message_fn=crashing_fn)
+
+    report = RecoveryManager(tmp_path).resume_stream()
+    first = report.rounds[0]
+    assert first.ok and first.attempts == 1
+    assert sorted(first.messages) == sorted(
+        _default_message(0, i) for i in range(USERS)
+    )
+    assert first.intake_s > 0 and first.mix_wall_s > 0
