@@ -7,7 +7,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test bench-smoke parity stream-smoke net-smoke persist-smoke clean
+.PHONY: test-fast test bench-smoke parity stream-smoke net-smoke persist-smoke chaos-smoke clean
 
 ## Fast suite: everything but the slow-marked benchmarks/sweeps (~35 s).
 test-fast:
@@ -45,6 +45,12 @@ net-smoke:
 ## require the final StreamReport to be fully ok.
 persist-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/persist_smoke.py
+
+## Resilience end to end: a 3-round TCP stream under a chaos plan
+## (drop 2%, delay 20 ms on 10%, dup 1%) plus one undeclared server
+## kill that heartbeats must detect and buddy recovery must heal.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/chaos_smoke.py
 
 clean:
 	rm -rf src/repro_atom.egg-info build .pytest_cache

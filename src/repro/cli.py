@@ -18,19 +18,27 @@ def cmd_round(args: argparse.Namespace) -> int:
     """Run a real protocol round over the selected transport."""
     from repro.core import AtomDeployment, DeploymentConfig
     from repro.crypto.groups import DeterministicRng
+    from repro.net.chaos import NetFaultPlanError
 
-    config = DeploymentConfig(
-        num_servers=max(args.groups * args.group_size, 2 * args.group_size),
-        num_groups=args.groups,
-        group_size=args.group_size,
-        variant=args.variant,
-        iterations=args.iterations,
-        message_size=args.message_size,
-        crypto_group=args.crypto_group,
-        parallelism=args.parallelism,
-        transport=args.transport,
-        state_dir=args.state_dir,
-    )
+    try:
+        config = DeploymentConfig(
+            num_servers=max(args.groups * args.group_size, 2 * args.group_size),
+            num_groups=args.groups,
+            group_size=args.group_size,
+            variant=args.variant,
+            iterations=args.iterations,
+            message_size=args.message_size,
+            crypto_group=args.crypto_group,
+            parallelism=args.parallelism,
+            transport=args.transport,
+            state_dir=args.state_dir,
+            net_faults=args.net_faults or None,
+            rpc_timeout=args.rpc_timeout,
+            heartbeat=args.heartbeat,
+        )
+    except (NetFaultPlanError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     seed = args.seed
     if seed is None and args.state_dir:
         # Recovery replays the round's rng draws instead of storing
@@ -84,24 +92,27 @@ DEFAULT_STREAM_FAULTS = (
 def cmd_run_stream(args: argparse.Namespace) -> int:
     """Run a multi-round pipelined stream under a fault schedule."""
     from repro.core import DeploymentConfig, FaultSchedule, StreamConfig, StreamEngine
-
-    config = DeploymentConfig(
-        num_servers=max(args.groups * args.group_size, 2 * args.group_size),
-        num_groups=args.groups,
-        group_size=args.group_size,
-        variant=args.variant,
-        mode=args.mode,
-        h=args.h,
-        iterations=args.iterations,
-        message_size=args.message_size,
-        crypto_group=args.crypto_group,
-        parallelism=args.parallelism,
-        transport=args.transport,
-        state_dir=args.state_dir,
-    )
     from repro.core.pipeline import FaultScheduleError
+    from repro.net.chaos import NetFaultPlanError
 
     try:
+        config = DeploymentConfig(
+            num_servers=max(args.groups * args.group_size, 2 * args.group_size),
+            num_groups=args.groups,
+            group_size=args.group_size,
+            variant=args.variant,
+            mode=args.mode,
+            h=args.h,
+            iterations=args.iterations,
+            message_size=args.message_size,
+            crypto_group=args.crypto_group,
+            parallelism=args.parallelism,
+            transport=args.transport,
+            state_dir=args.state_dir,
+            net_faults=args.net_faults or None,
+            rpc_timeout=args.rpc_timeout,
+            heartbeat=args.heartbeat,
+        )
         schedule = FaultSchedule.parse(args.fault_schedule)
         if args.variant != "trap" and schedule.has_user_events():
             # User attacks abuse trap submissions; keep the schedule's
@@ -291,6 +302,29 @@ def build_parser() -> argparse.ArgumentParser:
             "`repro resume --state-dir DIR`",
         )
 
+    def add_net_args(p):
+        p.add_argument(
+            "--net-faults",
+            default=None,
+            metavar="PLAN",
+            help="seed-deterministic network fault plan, e.g. "
+            "'*:drop:2%%;*:delay:20:10%%;mix_batch:reorder:50%%' "
+            "(see repro.net.chaos for the grammar)",
+        )
+        p.add_argument(
+            "--rpc-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="base RPC deadline (mixing RPCs get 4x; default 30)",
+        )
+        p.add_argument(
+            "--heartbeat",
+            action="store_true",
+            help="probe groups with PING before each mixing layer and "
+            "surface sustained silence as GroupStalled (buddy recovery)",
+        )
+
     p_round = sub.add_parser("round", help="run a real protocol round")
     p_round.add_argument("--users", type=int, default=8)
     p_round.add_argument("--groups", type=int, default=2)
@@ -307,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_transport_arg(p_round)
     add_state_dir_arg(p_round)
+    add_net_args(p_round)
     p_round.add_argument(
         "--seed",
         default=None,
@@ -342,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
         "r8:user:duplicate_inner@1'); pass '' for a fault-free stream",
     )
     add_state_dir_arg(p_stream)
+    add_net_args(p_stream)
     p_stream.set_defaults(func=cmd_run_stream)
 
     p_resume = sub.add_parser(

@@ -610,6 +610,9 @@ class StreamEngine:
             ) from buddy_short
         rnd.contexts[gid] = restored
         stats.recovered_gids.append(gid)
+        # The replacement group answers at a fresh endpoint: lift any
+        # chaos-layer partition of the old (dead) one.
+        self.deployment.revive_endpoint(gid)
 
     # -- the stream --------------------------------------------------------
 

@@ -91,6 +91,25 @@ class DeploymentConfig:
     #: snapshot node holdings every N committed layers (1: every
     #: commit, so recovery re-mixes nothing)
     checkpoint_every: int = 1
+    #: wrap the transport with deadlines/retries/idempotent request ids
+    #: (False restores PR 4's perfect-network behavior exactly)
+    resilience: bool = True
+    #: base RPC deadline in seconds (None: the stock 30 s; mixing RPCs
+    #: get 4x, heartbeats get `heartbeat_timeout_s`)
+    rpc_timeout: Optional[float] = None
+    #: retry budget per RPC (1 = no retries)
+    rpc_attempts: int = 4
+    #: network fault plan spec (see repro.net.chaos), None = calm net
+    net_faults: Optional[str] = None
+    #: probe every group with PING before each mixing layer and surface
+    #: sustained silence as GroupStalled (-> §4.5 buddy recovery)
+    heartbeat: bool = False
+    #: consecutive missed PONGs before a group is declared dead
+    heartbeat_misses: int = 3
+    #: pause between heartbeat re-probes of a silent group (seconds)
+    heartbeat_grace_s: float = 0.02
+    #: per-PING deadline (seconds) — deliberately tight
+    heartbeat_timeout_s: float = 0.25
 
     def __post_init__(self) -> None:
         from repro.net.transport import TRANSPORTS
@@ -103,6 +122,21 @@ class DeploymentConfig:
             raise ValueError("parallelism must be >= 1")
         if self.transport not in TRANSPORTS:
             raise ValueError(f"transport must be one of {TRANSPORTS}")
+        if self.rpc_attempts < 1:
+            raise ValueError("rpc_attempts must be >= 1")
+        if self.rpc_timeout is not None and self.rpc_timeout <= 0:
+            raise ValueError("rpc_timeout must be > 0 seconds")
+        if self.heartbeat_misses < 1:
+            raise ValueError("heartbeat_misses must be >= 1")
+        if self.net_faults is not None:
+            # Parse eagerly so a bad spec fails at config time (the CLI
+            # surfaces it before any round state exists), and cache the
+            # parsed plan for transport assembly.
+            from repro.net.chaos import NetFaultPlan
+
+            self._net_fault_plan = NetFaultPlan.parse(self.net_faults)
+        else:
+            self._net_fault_plan = None
 
 
 class InnerPayloadForger:
@@ -256,12 +290,54 @@ class AtomDeployment:
         return self._pool
 
     def transport(self):
-        """The deployment's :class:`~repro.net.transport.Transport`."""
+        """The deployment's :class:`~repro.net.transport.Transport`.
+
+        Assembled as a decorator chain, outermost first::
+
+            Coordinator -> ResilientTransport -> ChaosTransport -> tcp/inproc
+
+        Chaos sits *below* resilience so injected faults exercise the
+        retry/dedup machinery exactly like a real flaky network would.
+        Both wrappers draw from rngs derived from the deployment seed —
+        never the protocol rng — so enabling them cannot shift a
+        round's crypto.
+        """
         if self._transport is None:
             from repro.net.transport import make_transport
 
-            self._transport = make_transport(self.config.transport, self.group)
+            cfg = self.config
+            transport = make_transport(cfg.transport, self.group)
+            if cfg._net_fault_plan is not None:
+                from repro.net.chaos import ChaosTransport
+
+                transport = ChaosTransport(
+                    transport, cfg._net_fault_plan, cfg.seed + b"/chaos"
+                )
+            if cfg.resilience:
+                from repro.net.resilience import ResilientTransport, RpcPolicy
+
+                transport = ResilientTransport(
+                    transport,
+                    RpcPolicy.default(
+                        base_timeout=cfg.rpc_timeout,
+                        max_attempts=cfg.rpc_attempts,
+                        ping_timeout=cfg.heartbeat_timeout_s,
+                    ),
+                    cfg.seed + b"/rpc",
+                )
+            self._transport = transport
         return self._transport
+
+    def revive_endpoint(self, gid: int) -> None:
+        """Buddy recovery re-hosted ``gid``: walk the transport chain
+        and clear any chaos partition of that endpoint (the replacement
+        group comes up at a fresh, reachable address)."""
+        transport = self._transport
+        while transport is not None:
+            revive = getattr(transport, "revive", None)
+            if revive is not None:
+                revive(gid)
+            transport = getattr(transport, "inner", None)
 
     def close(self) -> None:
         """Shut down the mixing worker pool and the transport, and

@@ -9,13 +9,27 @@
   services exposing ``handle(envelope) -> [envelope]``.
 - :mod:`repro.net.coordinator` — the :class:`Coordinator` that drives
   a full round purely over envelopes.
+- :mod:`repro.net.resilience` — deadlines, deterministic retries,
+  idempotent request ids, and the heartbeat suspicion tracker.
+- :mod:`repro.net.chaos` — :class:`ChaosTransport`, a reproducible
+  adversarial network driven by a parseable :class:`NetFaultPlan`.
 """
 
+from repro.net.chaos import ChaosTransport, NetFaultPlan, NetFaultPlanError
 from repro.net.coordinator import Coordinator
 from repro.net.envelopes import Envelope, Kind, WireFormatError, wrap
 from repro.net.nodes import ServerNode, TrusteeNode
+from repro.net.resilience import (
+    DedupCache,
+    ResilientTransport,
+    RpcExhausted,
+    RpcPolicy,
+    SuspicionTracker,
+)
 from repro.net.transport import (
     InProcessTransport,
+    RetryableTransportError,
+    RpcTimeout,
     TcpTransport,
     Transport,
     TransportError,
@@ -24,6 +38,9 @@ from repro.net.transport import (
 )
 
 __all__ = [
+    "ChaosTransport",
+    "NetFaultPlan",
+    "NetFaultPlanError",
     "Coordinator",
     "Envelope",
     "Kind",
@@ -31,7 +48,14 @@ __all__ = [
     "wrap",
     "ServerNode",
     "TrusteeNode",
+    "DedupCache",
+    "ResilientTransport",
+    "RpcExhausted",
+    "RpcPolicy",
+    "SuspicionTracker",
     "InProcessTransport",
+    "RetryableTransportError",
+    "RpcTimeout",
     "TcpTransport",
     "Transport",
     "TransportError",

@@ -1,0 +1,409 @@
+"""Chaos transport: a declarative, reproducible adversarial network.
+
+:class:`ChaosTransport` decorates any :class:`~repro.net.transport.Transport`
+and injects faults according to a :class:`NetFaultPlan` — the network
+analogue of the stream engine's ``FaultSchedule``.  Every coin flip
+comes from a :class:`~repro.crypto.groups.DeterministicRng` seeded from
+the deployment seed, so a chaotic run is exactly as reproducible as a
+fault-free one: same seed, same drops, same duplicates, same delays.
+
+Plan grammar (``parse``)::
+
+    spec   := rule (';' rule)*
+    rule   := scope ':' action          # first ':' splits the two
+    scope  := '*' | where ('/' where)*
+    where  := 'r'N['-'[M]]              # round N, rounds N-M, N onward
+            | SRC '>' DST               # endpoints: 'c', 't', '*', gid
+            | KINDNAME                  # e.g. submit, mix_batch, ping
+            | '*'
+    action := 'drop' [':' RATE]         # request never delivered
+            | 'drop-reply' [':' RATE]   # delivered, reply lost
+            | 'delay' ':' MS [':' RATE] # added latency, milliseconds
+            | 'dup' [':' RATE]          # request delivered twice
+            | 'reorder' [':' RATE]      # held past the next request
+            | 'garble' [':' RATE]       # reply corrupted on the wire
+            | 'reset' [':' RATE]        # connection reset mid-request
+            | 'kill' ':' GID            # endpoint goes dark (partition)
+    RATE   := '37%' | '0.37'            # default 1.0
+
+Examples: ``*:drop:2%`` (drop 2 % of everything),
+``r1/c>1/ping:kill:1`` (from round 1, the first heartbeat to group 1
+blackholes that endpoint until recovery revives it),
+``mix_batch:reorder:50%`` (shuffle half the inter-group batches).
+
+``kill`` is the one *stateful* action: once its first matching
+envelope arrives the destination is dark for **all** traffic — an
+undeclared fail-stop, detected only by the heartbeat failure detector
+— until :meth:`ChaosTransport.revive` is called for that gid (buddy
+recovery does this when it re-hosts the group).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.crypto.groups import DeterministicRng
+from repro.net.envelopes import Envelope, Kind
+from repro.net.transport import (
+    RetryableTransportError,
+    RpcTimeout,
+    Transport,
+)
+
+
+class NetFaultPlanError(ValueError):
+    """A network fault plan spec failed to parse."""
+
+
+_ACTIONS = (
+    "drop", "drop-reply", "delay", "dup", "reorder", "garble", "reset",
+    "kill",
+)
+
+#: Kinds whose in-flight envelope may legally be held past a later
+#: request (the "reorder" fault).  Only the inter-group MIX_BATCH
+#: deliveries qualify: nodes adopt a committed layer's batches sorted
+#: by sender, so arrival order is explicitly immaterial.  Everything
+#: else on the wire is a strictly ordered RPC the coordinator acts on
+#: immediately (a held COMMIT_LAYER, for instance, would leave stale
+#: holdings under the coordinator's feet mid-round) — for those,
+#: reorder rules simply never match.
+REORDERABLE = frozenset({Kind.MIX_BATCH})
+
+_ROUND_RE = re.compile(r"^r(\d+)(?:-(\d*))?$")
+_ENDPOINTS = {"c": -1, "t": -2}  # COORDINATOR / TRUSTEE addresses
+
+
+def _parse_endpoint(token: str) -> Optional[int]:
+    if token == "*":
+        return None
+    if token in _ENDPOINTS:
+        return _ENDPOINTS[token]
+    try:
+        return int(token)
+    except ValueError:
+        raise NetFaultPlanError(
+            f"bad endpoint {token!r}: expected 'c', 't', '*', or a gid"
+        ) from None
+
+
+def _parse_rate(token: str, what: str) -> float:
+    try:
+        if token.endswith("%"):
+            rate = float(token[:-1]) / 100.0
+        else:
+            rate = float(token)
+    except ValueError:
+        raise NetFaultPlanError(
+            f"bad {what} {token!r}: expected a float or 'N%'"
+        ) from None
+    if not 0.0 <= rate <= 1.0:
+        raise NetFaultPlanError(f"{what} {token!r} out of range [0, 1]")
+    return rate
+
+
+@dataclass
+class NetRule:
+    """One parsed fault rule: a scope plus an action."""
+
+    action: str
+    rate: float = 1.0
+    delay_ms: float = 0.0
+    kill_gid: int = -1
+    round_start: Optional[int] = None
+    round_end: Optional[int] = None  # inclusive; None = unbounded
+    src: Optional[int] = None  # None = any
+    dst: Optional[int] = None
+    kind: Optional[Kind] = None
+
+    def matches(self, env: Envelope) -> bool:
+        if self.round_start is not None and env.round_id < self.round_start:
+            return False
+        if self.round_end is not None and env.round_id > self.round_end:
+            return False
+        if self.src is not None and env.sender != self.src:
+            return False
+        if self.dst is not None and env.dest != self.dst:
+            return False
+        if self.kind is not None and env.kind is not self.kind:
+            return False
+        if self.action == "reorder" and env.kind not in REORDERABLE:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Canonical spec text: ``parse(describe())`` is the identity."""
+        wheres = []
+        if self.round_start is not None or self.round_end is not None:
+            start = self.round_start if self.round_start is not None else 0
+            if self.round_end is None:
+                wheres.append(f"r{start}-")
+            elif self.round_end == start:
+                wheres.append(f"r{start}")
+            else:
+                wheres.append(f"r{start}-{self.round_end}")
+        if self.src is not None or self.dst is not None:
+            names = {v: k for k, v in _ENDPOINTS.items()}
+
+            def end(v):
+                if v is None:
+                    return "*"
+                return names.get(v, str(v))
+
+            wheres.append(f"{end(self.src)}>{end(self.dst)}")
+        if self.kind is not None:
+            wheres.append(self.kind.name.lower())
+        scope = "/".join(wheres) if wheres else "*"
+        if self.action == "kill":
+            return f"{scope}:kill:{self.kill_gid}"
+        parts = [scope, self.action]
+        if self.action == "delay":
+            parts.append(repr(self.delay_ms))
+        if self.rate != 1.0:
+            parts.append(repr(self.rate))
+        return ":".join(parts)
+
+
+class NetFaultPlan:
+    """An ordered list of :class:`NetRule` (evaluated in spec order)."""
+
+    def __init__(self, rules: List[NetRule]):
+        self.rules = rules
+
+    @classmethod
+    def parse(cls, spec: str) -> "NetFaultPlan":
+        rules = []
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            try:
+                rules.append(cls._parse_rule(chunk))
+            except NetFaultPlanError as exc:
+                raise NetFaultPlanError(
+                    f"bad net fault rule {chunk!r}: {exc}"
+                ) from None
+        return cls(rules)
+
+    @classmethod
+    def _parse_rule(cls, chunk: str) -> NetRule:
+        # The first ':' splits scope from action: scopes never contain
+        # ':' (wheres are '/'-separated), actions may ('delay:20:5%').
+        scope, sep, action = chunk.partition(":")
+        if not sep or not scope or not action:
+            raise NetFaultPlanError("expected 'scope:action'")
+        rule = cls._parse_action(action)
+        cls._parse_scope(scope, rule)
+        return rule
+
+    @staticmethod
+    def _parse_action(text: str) -> NetRule:
+        parts = text.split(":")
+        name = parts[0]
+        if name not in _ACTIONS:
+            raise NetFaultPlanError(
+                f"unknown action {name!r}; choose from {_ACTIONS}"
+            )
+        if name == "kill":
+            if len(parts) != 2:
+                raise NetFaultPlanError("kill takes exactly one arg: kill:GID")
+            try:
+                gid = int(parts[1])
+            except ValueError:
+                raise NetFaultPlanError(
+                    f"bad kill target {parts[1]!r}: expected a gid"
+                ) from None
+            if gid < 0:
+                raise NetFaultPlanError("kill target must be a gid >= 0")
+            return NetRule(action="kill", kill_gid=gid)
+        if name == "delay":
+            if len(parts) not in (2, 3):
+                raise NetFaultPlanError("delay takes delay:MS[:RATE]")
+            try:
+                ms = float(parts[1])
+            except ValueError:
+                raise NetFaultPlanError(
+                    f"bad delay {parts[1]!r}: expected milliseconds"
+                ) from None
+            if ms < 0:
+                raise NetFaultPlanError("delay must be >= 0 ms")
+            rate = _parse_rate(parts[2], "rate") if len(parts) == 3 else 1.0
+            return NetRule(action="delay", delay_ms=ms, rate=rate)
+        if len(parts) > 2:
+            raise NetFaultPlanError(f"{name} takes at most one arg: {name}[:RATE]")
+        rate = _parse_rate(parts[1], "rate") if len(parts) == 2 else 1.0
+        return NetRule(action=name, rate=rate)
+
+    @staticmethod
+    def _parse_scope(scope: str, rule: NetRule) -> None:
+        seen: Set[str] = set()
+
+        def claim(what: str) -> None:
+            if what in seen:
+                raise NetFaultPlanError(f"duplicate {what} constraint in scope")
+            seen.add(what)
+
+        for where in scope.split("/"):
+            where = where.strip()
+            if where == "*":
+                continue
+            if ">" in where:
+                claim("endpoint")
+                src, _, dst = where.partition(">")
+                rule.src = _parse_endpoint(src)
+                rule.dst = _parse_endpoint(dst)
+                continue
+            m = _ROUND_RE.match(where)
+            if m:
+                claim("round")
+                rule.round_start = int(m.group(1))
+                if m.group(2) is None:  # 'rN' — that round only
+                    rule.round_end = rule.round_start
+                elif m.group(2) == "":  # 'rN-' — N onward
+                    rule.round_end = None
+                else:  # 'rN-M' — inclusive range
+                    rule.round_end = int(m.group(2))
+                    if rule.round_end < rule.round_start:
+                        raise NetFaultPlanError(
+                            f"empty round range {where!r}"
+                        )
+                continue
+            try:
+                kind = Kind[where.upper()]
+            except KeyError:
+                raise NetFaultPlanError(
+                    f"bad scope term {where!r}: not a round ('rN'), "
+                    f"endpoint pair ('SRC>DST'), or envelope kind"
+                ) from None
+            claim("kind")
+            rule.kind = kind
+
+    def describe(self) -> str:
+        return ";".join(rule.describe() for rule in self.rules)
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+
+class ChaosTransport(Transport):
+    """Transport decorator that perturbs traffic per a fault plan.
+
+    Faults happen *below* the resilience layer, so retries, dedup, and
+    heartbeats see exactly what a real flaky network would show them.
+    Every random decision comes from the plan's own seeded rng;
+    protocol randomness is untouched.
+    """
+
+    def __init__(self, inner: Transport, plan: NetFaultPlan, seed: bytes):
+        self.inner = inner
+        self.plan = plan
+        self.name = "chaos+" + inner.name
+        self._rng = DeterministicRng(seed)
+        self._killed: Set[int] = set()  # dark endpoints (gid)
+        self._armed_kills = [r for r in plan.rules if r.action == "kill"]
+        self._held: List[Envelope] = []  # reorder: delayed deliveries
+        self.stats: Dict[str, int] = {
+            a: 0 for a in _ACTIONS
+        }
+
+    # -- Transport interface -------------------------------------------
+
+    def register(self, round_id: int, node_id: int, node) -> None:
+        self.inner.register(round_id, node_id, node)
+
+    def unregister_round(self, round_id: int) -> None:
+        self._flush_held()
+        self.inner.unregister_round(round_id)
+
+    def close(self) -> None:
+        self._flush_held()
+        self.inner.close()
+
+    # -- kill / revive --------------------------------------------------
+
+    def revive(self, gid: int) -> None:
+        """Recovery re-hosted ``gid``: the replacement endpoint is
+        reachable again (and any armed kill for it stays spent)."""
+        self._killed.discard(gid)
+
+    def _check_kills(self, env: Envelope) -> None:
+        for rule in list(self._armed_kills):
+            if rule.matches(env):
+                self._armed_kills.remove(rule)  # one-shot
+                self._killed.add(rule.kill_gid)
+                self.stats["kill"] += 1
+
+    # -- fault evaluation ----------------------------------------------
+
+    def _flip(self, rate: float) -> bool:
+        if rate >= 1.0:
+            return True
+        return int.from_bytes(self._rng.randbytes(4), "big") / 2**32 < rate
+
+    def request(self, env: Envelope, timeout=None) -> List[Envelope]:
+        self._check_kills(env)
+        if env.dest in self._killed:
+            # The endpoint is dark: traffic vanishes, exactly like a
+            # crashed host.  Held batches for it vanish too.
+            self._held = [h for h in self._held if h.dest not in self._killed]
+            raise RpcTimeout(
+                f"chaos: node {env.dest} is dark (killed endpoint)"
+            )
+        if env.kind not in REORDERABLE:
+            # Ordered RPCs are a barrier: anything held must land
+            # before them — including before any fault-injected extra
+            # delivery below (a duplicated COMMIT_LAYER must never
+            # outrun the batch it commits).
+            self._flush_held()
+        for rule in self.plan.rules:
+            if rule.action == "kill" or not rule.matches(env):
+                continue
+            if not self._flip(rule.rate):
+                continue
+            self.stats[rule.action] += 1
+            if rule.action == "drop":
+                raise RpcTimeout(
+                    f"chaos: dropped {env.kind.name} to node {env.dest}"
+                )
+            if rule.action == "delay":
+                time.sleep(rule.delay_ms / 1000.0)
+            elif rule.action == "dup":
+                self._deliver(env, timeout)  # extra copy; replies discarded
+            elif rule.action == "reorder":
+                self._held.append(env)
+                return []  # MIX_BATCH replies are empty anyway
+            elif rule.action == "garble":
+                self._deliver(env, timeout)  # processed; reply corrupted
+                raise RetryableTransportError(
+                    f"chaos: garbled reply from node {env.dest}"
+                )
+            elif rule.action == "reset":
+                raise RetryableTransportError(
+                    f"chaos: connection to node {env.dest} reset"
+                )
+            elif rule.action == "drop-reply":
+                self._deliver(env, timeout)  # processed; reply lost
+                raise RpcTimeout(
+                    f"chaos: reply from node {env.dest} dropped"
+                )
+        if env.kind in REORDERABLE:
+            # Deliver first, then flush anything held: the held
+            # envelope lands *after* this one — an actual swap (only
+            # relative order among batches may change).
+            replies = self._deliver(env, timeout)
+            self._flush_held()
+            return replies
+        return self._deliver(env, timeout)
+
+    def _deliver(self, env: Envelope, timeout) -> List[Envelope]:
+        return self.inner.request(env, timeout=timeout)
+
+    def _flush_held(self) -> None:
+        held, self._held = self._held, []
+        for env in held:
+            if env.dest in self._killed:
+                continue  # the endpoint died holding the batch
+            self._deliver(env, None)

@@ -38,15 +38,18 @@ round data crosses the transport.
 from __future__ import annotations
 
 import hashlib
+import time
 from typing import Dict, List, Optional
 
 from repro.core import messages as fmt
+from repro.core.group import GroupStalled
 from repro.crypto.groups import DeterministicRng
 from repro.crypto.kem import cca2_decrypt
 from repro.net import envelopes as ev
 from repro.net.envelopes import Envelope, Kind
 from repro.net.nodes import ServerNode, TrusteeNode, raise_fault
-from repro.net.transport import Transport
+from repro.net.resilience import RpcExhausted, SuspicionTracker
+from repro.net.transport import Transport, TransportError
 
 
 class Coordinator:
@@ -79,13 +82,32 @@ class Coordinator:
         if rnd.trustees is not None:
             self.trustee_node = TrusteeNode(rnd.trustees, rnd.round_id)
             transport.register(rnd.round_id, ev.TRUSTEE, self.trustee_node)
+        #: heartbeat failure detector (None when cfg.heartbeat is off)
+        self.suspicion: Optional[SuspicionTracker] = (
+            SuspicionTracker(deployment.config.heartbeat_misses)
+            if deployment.config.heartbeat
+            else None
+        )
 
     # -- plumbing ------------------------------------------------------
 
-    def _send(self, payload, dest: int) -> List[Envelope]:
+    def _send(self, payload, dest: int, req_id: int = 0) -> List[Envelope]:
         return self.transport.request(
-            ev.wrap(payload, self.round_id, ev.COORDINATOR, dest)
+            ev.wrap(payload, self.round_id, ev.COORDINATOR, dest, req_id=req_id)
         )
+
+    def _guarded_send(self, payload, gid: int) -> List[Envelope]:
+        """A mixing-phase send: an unreachable group (retries
+        exhausted) becomes ``GroupStalled``, the signal §4.5 buddy
+        recovery already handles.  Only safe *before* any delivery or
+        commit of the layer — nothing has mutated yet, so the layer as
+        a whole can be retried against the recovered group."""
+        try:
+            return self._send(payload, gid)
+        except RpcExhausted as exc:
+            raise GroupStalled(
+                gid, 0, self.rnd.context(gid).threshold
+            ) from exc
 
     def release(self) -> None:
         """Drop this round's endpoints (idempotent; streams call it
@@ -96,10 +118,14 @@ class Coordinator:
 
     # -- intake --------------------------------------------------------
 
-    def submit(self, payload, gid: int) -> int:
+    def submit(self, payload, gid: int, req_id: int = 0) -> int:
         """Route one intake envelope; returns the accepted-ciphertext
-        count or raises ``ValueError`` with the node's reason."""
-        replies = self._send(payload, gid)
+        count or raises ``ValueError`` with the node's reason.
+
+        ``req_id`` lets WAL replay re-ship a journaled envelope under
+        its *original* request id, so replayed intake keeps the exact
+        dedup identity it had before the crash."""
+        replies = self._send(payload, gid, req_id=req_id)
         reply = replies[0].payload
         if isinstance(reply, ev.SubmitErr):
             raise ValueError(reply.reason)
@@ -127,6 +153,46 @@ class Coordinator:
             if rnd.forger is not None:
                 node.ctx.forge_payload_fn = rnd.forger
 
+    # -- health --------------------------------------------------------
+
+    def probe_health(self) -> None:
+        """Heartbeat every group before the layer touches it.  Runs
+        *after* ``_sync_contexts`` so a freshly recovered group is
+        probed through its restored context, not the dead one."""
+        if self.suspicion is None:
+            return
+        for gid in sorted(self.nodes):
+            self._probe_node(gid)
+
+    def _probe_node(self, gid: int) -> None:
+        """PING until answered or declared dead.  Deliberately *not*
+        routed through the retry machinery (the policy gives PING one
+        attempt): each miss must reach the SuspicionTracker — retries
+        hiding misses would defeat the detector."""
+        cfg = self.deployment.config
+        tracker = self.suspicion
+        while True:
+            try:
+                replies = self.transport.request(
+                    ev.wrap(ev.Ping(), self.round_id, ev.COORDINATOR, gid),
+                    timeout=cfg.heartbeat_timeout_s,
+                )
+            except TransportError:
+                if tracker.record_miss(gid) >= tracker.miss_threshold:
+                    tracker.declare(gid)
+                    raise GroupStalled(
+                        gid, 0, self.rnd.context(gid).threshold
+                    ) from None
+                time.sleep(cfg.heartbeat_grace_s)
+                continue
+            tracker.record_pong(gid)
+            pong = replies[0].payload
+            if pong.alive < pong.needed:
+                # The endpoint answers but the group lost its quorum:
+                # same recovery path, better diagnosis.
+                raise GroupStalled(gid, pong.alive, pong.needed)
+            return
+
     def run_layer(self) -> None:
         """Mix one layer across all groups (Algorithm 1/2) atomically."""
         if self.done:
@@ -139,6 +205,7 @@ class Coordinator:
             # latest mark.
             self.store.mixing_begin(self.round_id, self.rng)
         self._sync_contexts()
+        self.probe_health()
         rnd = self.rnd
         topo = rnd.topology
         layer = self.layer
@@ -167,7 +234,7 @@ class Coordinator:
                         rnd.context(succ).public_key for succ in successors
                     )
                 seed = self.rng.randbytes(32) if self.rng is not None else None
-                replies = self._send(
+                replies = self._guarded_send(
                     ev.Mix(
                         layer=layer, successors=successors,
                         next_keys=next_keys, seed=seed, use_pool=use_pool,
@@ -179,7 +246,7 @@ class Coordinator:
                     continue
                 self._sort_mix_replies(replies, batches, audits)
             for gid in pending:
-                replies = self._send(ev.MixCollect(layer=layer), gid)
+                replies = self._guarded_send(ev.MixCollect(layer=layer), gid)
                 self._sort_mix_replies(replies, batches, audits)
         except Exception:
             self._abort_layer(layer)

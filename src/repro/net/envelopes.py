@@ -43,7 +43,8 @@ from repro.crypto.vector import (
 )
 
 #: bump when the header or any codec changes incompatibly
-WIRE_VERSION = 1
+#: (v2: u64 request id in the header for idempotent RPC delivery)
+WIRE_VERSION = 2
 MAGIC = b"AT"
 
 #: well-known logical node addresses (server nodes use their gid >= 0)
@@ -82,6 +83,9 @@ class Kind(enum.IntEnum):
     KEY_REQUEST = 35
     KEY_RELEASE = 36
     KEY_WITHHELD = 37
+    # health (heartbeat failure detector)
+    PING = 40
+    PONG = 41
 
 
 # ---------------------------------------------------------------------------
@@ -744,6 +748,35 @@ class KeyRelease(_Payload):
         return cls(secret=secret, shares=shares)
 
 
+@_register(Kind.PING)
+@dataclass
+class Ping(_Payload):
+    """Coordinator -> node: liveness probe.  A healthy node answers
+    with :class:`Pong` immediately; a missed deadline counts against
+    the coordinator's suspicion threshold."""
+
+
+@_register(Kind.PONG)
+@dataclass
+class Pong(_Payload):
+    """Node -> coordinator: alive, with the group's quorum health so
+    the detector also surfaces sub-threshold membership (a group whose
+    servers died without the endpoint going dark)."""
+
+    gid: int
+    alive: int
+    needed: int
+
+    def _encode(self, w: _Writer) -> None:
+        w.u32(self.gid)
+        w.u32(self.alive)
+        w.u32(self.needed)
+
+    @classmethod
+    def _decode(cls, r: _Reader) -> "Pong":
+        return cls(gid=r.u32(), alive=r.u32(), needed=r.u32())
+
+
 @_register(Kind.KEY_WITHHELD)
 @dataclass
 class KeyWithheldMsg(_Payload):
@@ -769,7 +802,13 @@ class KeyWithheldMsg(_Payload):
 # the envelope
 # ---------------------------------------------------------------------------
 
-_HEADER = struct.Struct(">2sBBIiiI")
+#: magic, version, kind, round_id, sender, dest, req_id, body_len.
+#: ``req_id`` is the resilience layer's per-request identity (0 when
+#: unstamped): node-side dedup caches key on it so a retried or
+#: chaos-duplicated request is applied exactly once.  Its slot lives in
+#: the fixed header — not a payload — because dedup must decide before
+#: any payload decoding or dispatch happens.
+_HEADER = struct.Struct(">2sBBIiiQI")
 
 
 @dataclass
@@ -782,13 +821,14 @@ class Envelope:
     dest: int
     payload: _Payload
     version: int = WIRE_VERSION
+    req_id: int = 0
 
     def to_bytes(self, group: Group) -> bytes:
         w = _Writer(group)
         self.payload._encode(w)
         header = _HEADER.pack(
             MAGIC, self.version, int(self.kind), self.round_id,
-            self.sender, self.dest, len(w.buf),
+            self.sender, self.dest, self.req_id, len(w.buf),
         )
         return header + bytes(w.buf)
 
@@ -796,7 +836,7 @@ class Envelope:
     def from_bytes(cls, raw: bytes, group: Group) -> "Envelope":
         if len(raw) < _HEADER.size:
             raise WireFormatError(f"envelope too short ({len(raw)} bytes)")
-        magic, version, kind_raw, round_id, sender, dest, body_len = (
+        magic, version, kind_raw, round_id, sender, dest, req_id, body_len = (
             _HEADER.unpack_from(raw)
         )
         if magic != MAGIC:
@@ -822,15 +862,17 @@ class Envelope:
             )
         return cls(
             kind=kind, round_id=round_id, sender=sender, dest=dest,
-            payload=payload, version=version,
+            payload=payload, version=version, req_id=req_id,
         )
 
 
-def wrap(payload: _Payload, round_id: int, sender: int, dest: int) -> Envelope:
+def wrap(
+    payload: _Payload, round_id: int, sender: int, dest: int, req_id: int = 0
+) -> Envelope:
     """Build an envelope around ``payload`` (kind inferred)."""
     return Envelope(
         kind=payload.kind, round_id=round_id, sender=sender, dest=dest,
-        payload=payload,
+        payload=payload, req_id=req_id,
     )
 
 

@@ -40,6 +40,7 @@ from repro.crypto.groups import DeterministicRng
 from repro.crypto.vector import plaintext_of
 from repro.net import envelopes as ev
 from repro.net.envelopes import Envelope, Kind
+from repro.net.resilience import DedupCache
 
 
 def _fault_from(exc: Exception) -> ev.Fault:
@@ -92,9 +93,14 @@ class ServerNode:
         #: duplicate-submission filter (exact-copy replay, §2.3)
         self._seen = set()
         #: batches delivered for the in-flight layer, adopted on commit
+        #: as (sender, vectors) so adoption can sort by sender — batch
+        #: arrival order is immaterial (chaos reorder, parallel mix)
         self._pending: List = []
         #: outstanding pooled mix: (layer, future, successors)
         self._inflight = None
+        #: request-id dedup: retried/duplicated requests replay their
+        #: cached replies instead of re-executing (idempotent delivery)
+        self._dedup = DedupCache()
 
     @property
     def gid(self) -> int:
@@ -112,9 +118,13 @@ class ServerNode:
         Kind.ABORT_LAYER: "_on_abort_layer",
         Kind.EXIT: "_on_exit",
         Kind.TRAP_CHECK: "_on_trap_check",
+        Kind.PING: "_on_ping",
     }
 
     def handle(self, env: Envelope) -> List[Envelope]:
+        cached = self._dedup.get(env.req_id)
+        if cached is not None:
+            return cached
         name = self._HANDLERS.get(env.kind)
         if name is None:
             raise ValueError(
@@ -129,6 +139,9 @@ class ServerNode:
             # Journal only *accepted* submissions: rejected ones left
             # no state behind, so replay must not see them either.
             self.store.envelope_accepted(env, self.ctx.group)
+        # Cached only after full success (journal included): a handler
+        # that raised is retried for real, never replayed from cache.
+        self._dedup.put(env.req_id, replies)
         return replies
 
     def _reply(self, payload, dest: int = ev.COORDINATOR) -> Envelope:
@@ -245,11 +258,18 @@ class ServerNode:
         return replies
 
     def _on_mix_batch(self, env: Envelope) -> List[Envelope]:
-        self._pending.extend(env.payload.vectors)
+        self._pending.append((env.sender, env.payload.vectors))
         return []
 
     def _on_commit_layer(self, env: Envelope) -> List[Envelope]:
-        self.holdings = list(self._pending)
+        # Adopt sorted by sender: batch arrival order carries no
+        # meaning (the mix permutes anyway), and sorting makes chaos
+        # reordering invisible to the committed state.
+        self.holdings = [
+            vec
+            for _, vectors in sorted(self._pending, key=lambda p: p[0])
+            for vec in vectors
+        ]
         self._pending = []
         return []
 
@@ -285,6 +305,22 @@ class ServerNode:
         )
         return [self._reply(ev.GroupReportMsg(report), dest=ev.TRUSTEE)]
 
+    # -- health --------------------------------------------------------
+
+    def _on_ping(self, env: Envelope) -> List[Envelope]:
+        """Heartbeat: alive, and here is the group's quorum health —
+        the detector also catches a group whose servers died without
+        the endpoint itself going dark."""
+        return [
+            self._reply(
+                ev.Pong(
+                    gid=self.gid,
+                    alive=len(self.ctx.alive_positions()),
+                    needed=self.ctx.threshold,
+                )
+            )
+        ]
+
 
 class TrusteeNode:
     """The trustee group as an addressable service (trap variant)."""
@@ -292,8 +328,17 @@ class TrusteeNode:
     def __init__(self, trustees: TrusteeGroup, round_id: int):
         self.trustees = trustees
         self.round_id = round_id
+        self._dedup = DedupCache()
 
     def handle(self, env: Envelope) -> List[Envelope]:
+        cached = self._dedup.get(env.req_id)
+        if cached is not None:
+            return cached
+        replies = self._dispatch(env)
+        self._dedup.put(env.req_id, replies)
+        return replies
+
+    def _dispatch(self, env: Envelope) -> List[Envelope]:
         if env.kind is Kind.GROUP_REPORT:
             self.trustees.submit_report(env.payload.report)
             return [

@@ -41,13 +41,24 @@ import threading
 from typing import Dict, List, Tuple
 
 from repro.crypto.groups import GroupBackend as Group
-from repro.net.envelopes import Envelope
+from repro.net.envelopes import Envelope, WireFormatError
 
 NodeKey = Tuple[int, int]  # (round_id, node_id)
 
 
 class TransportError(RuntimeError):
     """Routing or connection failure at the transport layer."""
+
+
+class RetryableTransportError(TransportError):
+    """A failure where the request may not have been processed — the
+    connection dropped, the peer reset, the reply was garbled.  The
+    resilience layer may retry these (idempotency via request IDs makes
+    the retry safe); a plain :class:`TransportError` is terminal."""
+
+
+class RpcTimeout(RetryableTransportError):
+    """The peer did not answer within the caller's deadline."""
 
 
 class Transport(abc.ABC):
@@ -66,8 +77,12 @@ class Transport(abc.ABC):
         """Tear down every endpoint of ``round_id`` (idempotent)."""
 
     @abc.abstractmethod
-    def request(self, env: Envelope) -> List[Envelope]:
-        """Deliver ``env`` to its destination; return its replies."""
+    def request(self, env: Envelope, timeout=None) -> List[Envelope]:
+        """Deliver ``env`` to its destination; return its replies.
+
+        ``timeout`` (seconds) bounds the wait for the reply where the
+        transport has a real wire to wait on; transports with no
+        network in between (in-process dispatch) ignore it."""
 
     def close(self) -> None:  # pragma: no cover - overridden where needed
         """Release all endpoints and connections."""
@@ -88,7 +103,7 @@ class InProcessTransport(Transport):
         for key in [k for k in self._nodes if k[0] == round_id]:
             del self._nodes[key]
 
-    def request(self, env: Envelope) -> List[Envelope]:
+    def request(self, env: Envelope, timeout=None) -> List[Envelope]:
         try:
             node = self._nodes[(env.round_id, env.dest)]
         except KeyError:
@@ -232,10 +247,22 @@ class TcpTransport(Transport):
             self._conns[key] = conn
         return conn
 
-    def request(self, env: Envelope) -> List[Envelope]:
+    def _drop_connection(self, key: NodeKey) -> None:
+        """Discard a connection whose stream state is no longer trusted
+        (timeout mid-frame, reset, garbled frame): the next request
+        dials fresh instead of reading a stale half-reply."""
+        conn = self._conns.pop(key, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close on a dead socket
+                pass
+
+    def request(self, env: Envelope, timeout=None) -> List[Envelope]:
         key = (env.round_id, env.dest)
         conn = self._connection(key)
         raw = env.to_bytes(self.group)
+        conn.settimeout(timeout)
         try:
             conn.sendall(_LEN.pack(len(raw)) + raw)
             count = _LEN.unpack(self._recv_exact(conn, _LEN.size))[0]
@@ -245,11 +272,21 @@ class TcpTransport(Transport):
                 replies.append(
                     Envelope.from_bytes(self._recv_exact(conn, length), self.group)
                 )
-        except (OSError, TransportError) as exc:
-            self._conns.pop(key, None)
-            raise TransportError(f"request to node {key} failed: {exc}") from exc
+        except socket.timeout as exc:
+            self._drop_connection(key)
+            raise RpcTimeout(
+                f"request to node {key} timed out after {timeout}s"
+            ) from exc
+        except (OSError, WireFormatError, TransportError) as exc:
+            self._drop_connection(key)
+            raise RetryableTransportError(
+                f"request to node {key} failed: {exc}"
+            ) from exc
         for reply in replies:
             if _is_error_reply(reply):
+                # The node *did* process the request and crashed doing
+                # so; retrying would re-execute the failure, so this
+                # stays non-retryable.
                 raise TransportError(
                     f"node {key} failed: {reply.payload.message}"
                 )
@@ -261,7 +298,7 @@ class TcpTransport(Transport):
         while len(chunks) < n:
             chunk = conn.recv(n - len(chunks))
             if not chunk:
-                raise TransportError("connection closed mid-frame")
+                raise RetryableTransportError("connection closed mid-frame")
             chunks += chunk
         return bytes(chunks)
 
@@ -270,26 +307,43 @@ class TcpTransport(Transport):
     def close(self) -> None:
         if self._closed:
             return
-        self._closed = True
         for conn in self._conns.values():
             conn.close()
         self._conns.clear()
         if self._loop is not None:
-            for server, _ in self._servers.values():
+            if self._thread.is_alive():
+                # Bounded waits throughout: a wedged loop must surface
+                # as an error below, not hang the caller here (and a
+                # retried close after the loop already stopped must not
+                # block on coroutines that will never be scheduled).
+                for server, _ in self._servers.values():
+                    try:
+                        asyncio.run_coroutine_threadsafe(
+                            self._stop_server(server), self._loop
+                        ).result(timeout=5)
+                    except Exception:
+                        pass
                 try:
-                    self._run(self._stop_server(server))
+                    asyncio.run_coroutine_threadsafe(
+                        self._drain_tasks(), self._loop
+                    ).result(timeout=5)
                 except Exception:
                     pass
+                self._loop.call_soon_threadsafe(self._loop.stop)
+                self._thread.join(timeout=5)
             self._servers.clear()
-            try:
-                self._run(self._drain_tasks())
-            except Exception:
-                pass
-            self._loop.call_soon_threadsafe(self._loop.stop)
-            self._thread.join(timeout=5)
+            if self._thread.is_alive():
+                # The loop thread is wedged.  Closing a still-running
+                # loop raises from inside it and the thread (plus its
+                # sockets) would leak silently; keep the refs so a
+                # retry can try again, and make the failure loud.
+                raise TransportError(
+                    "tcp transport event-loop thread did not stop within 5s"
+                )
             self._loop.close()
             self._loop = self._thread = None
         self._nodes.clear()
+        self._closed = True
 
     @staticmethod
     async def _drain_tasks() -> None:

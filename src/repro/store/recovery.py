@@ -205,7 +205,10 @@ class RecoveryManager:
         else:
             sub = None
             gid = payload.gid
-        rnd.coordinator.submit(payload, gid)
+        # Replay under the envelope's *original* request id: the dedup
+        # identity survives the crash, and the pre-crash session nonce
+        # keeps it from colliding with the fresh session's ids.
+        rnd.coordinator.submit(payload, gid, req_id=env.req_id)
         if sub is not None:
             for part in sub.pair:
                 rnd.holdings[gid].append(part.vector)

@@ -221,6 +221,13 @@ def payload_st(backend):
             reason=st.text(max_size=40),
             offending_gids=st.lists(gid, max_size=4).map(tuple),
         ),
+        st.builds(ev.Ping),
+        st.builds(
+            ev.Pong,
+            gid=gid,
+            alive=st.integers(min_value=0, max_value=9),
+            needed=st.integers(min_value=0, max_value=9),
+        ),
     )
 
 
@@ -240,6 +247,7 @@ def test_envelope_round_trip(backend, data):
         round_id=data.draw(st.integers(min_value=0, max_value=2**31 - 1)),
         sender=data.draw(st.integers(min_value=-2, max_value=63)),
         dest=data.draw(st.integers(min_value=-2, max_value=63)),
+        req_id=data.draw(st.integers(min_value=0, max_value=2**64 - 1)),
     )
     decoded = Envelope.from_bytes(env.to_bytes(group), group)
     assert decoded == env
@@ -288,6 +296,8 @@ def test_every_kind_is_covered(backend):
         Kind.KEY_WITHHELD: ev.KeyWithheldMsg(
             reason="count mismatch", offending_gids=(0, 1)
         ),
+        Kind.PING: ev.Ping(),
+        Kind.PONG: ev.Pong(gid=1, alive=2, needed=2),
     }
     assert set(examples) == set(ev.all_payload_types()), (
         "catalogue drifted: update the examples (and the strategies)"
@@ -327,8 +337,8 @@ class TestWireErrors:
         # fix up the declared body length so only the codec overrun trips
         import struct
 
-        body_len = struct.unpack(">I", raw[16:20])[0]
-        raw[16:20] = struct.pack(">I", body_len + 1)
+        body_len = struct.unpack(">I", raw[24:28])[0]
+        raw[24:28] = struct.pack(">I", body_len + 1)
         with pytest.raises(WireFormatError, match="trailing"):
             Envelope.from_bytes(bytes(raw), toy_group)
 
@@ -343,10 +353,10 @@ class TestWireErrors:
             0, 0, 1,
         )
         raw = bytearray(env.to_bytes(group))
-        # First element byte after the header (20) + layer (4) +
+        # First element byte after the header (28) + layer (4) +
         # vector count (4) + part count (4) is R's SEC1 prefix byte;
         # 0xFF is never a valid compressed-point prefix.
-        raw[32] = 0xFF
+        raw[40] = 0xFF
         with pytest.raises(WireFormatError):
             Envelope.from_bytes(bytes(raw), group)
 

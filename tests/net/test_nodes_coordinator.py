@@ -78,7 +78,17 @@ class TestNodeIntake:
         env = wrap(ev.SubmitPlain(gid=0, submission=sub), 0, ev.COORDINATOR, 0)
         first = rnd.coordinator.transport.request(env)[0].payload
         assert isinstance(first, ev.SubmitOk)
-        second = rnd.coordinator.transport.request(env)[0].payload
+        # Re-sending the *same request* (the resilience layer stamped
+        # its req_id on the first send) is a retry/duplicate delivery:
+        # the node replays the cached SubmitOk instead of re-executing.
+        replayed = rnd.coordinator.transport.request(env)[0].payload
+        assert isinstance(replayed, ev.SubmitOk)
+        # A *fresh* request carrying the same ciphertext is a true
+        # §2.3 replay attempt and is rejected at the node.
+        second_env = wrap(
+            ev.SubmitPlain(gid=0, submission=sub), 0, ev.COORDINATOR, 0
+        )
+        second = rnd.coordinator.transport.request(second_env)[0].payload
         assert isinstance(second, ev.SubmitErr)
         assert "duplicate" in second.reason
 

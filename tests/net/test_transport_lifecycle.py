@@ -1,0 +1,87 @@
+"""TcpTransport lifecycle: close() must not leak threads or sockets.
+
+The original close() joined the event-loop thread with a 5 s timeout
+and then unconditionally closed the loop and dropped the references —
+a wedged thread was silently abandoned (and closing a running loop
+raises inside it).  Now a failed join surfaces a TransportError and
+keeps the refs so the caller can retry; the success path still tears
+everything down, repeatably.
+"""
+
+import threading
+
+import pytest
+
+from repro.crypto.groups import get_group
+from repro.net.envelopes import COORDINATOR, SubmitOk, wrap
+from repro.net.transport import TcpTransport, TransportError
+
+
+class _EchoNode:
+    def handle(self, env):
+        return [wrap(SubmitOk(accepted=1), env.round_id, env.dest, COORDINATOR)]
+
+
+def _loop_threads():
+    return [
+        t for t in threading.enumerate() if t.name == "atom-tcp-transport"
+    ]
+
+
+class TestClose:
+    def test_close_joins_loop_thread(self, toy_group):
+        transport = TcpTransport(toy_group)
+        transport.register(0, 0, _EchoNode())
+        env = wrap(SubmitOk(accepted=1), 0, COORDINATOR, 0)
+        assert transport.request(env)[0].payload.accepted == 1
+        assert len(_loop_threads()) == 1
+        transport.close()
+        assert _loop_threads() == []
+        assert transport._loop is None and transport._thread is None
+
+    def test_close_is_idempotent(self, toy_group):
+        transport = TcpTransport(toy_group)
+        transport.register(0, 0, _EchoNode())
+        transport.close()
+        transport.close()
+
+    def test_repeated_open_close_leaks_nothing(self, toy_group):
+        baseline = threading.active_count()
+        for i in range(5):
+            transport = TcpTransport(toy_group)
+            transport.register(i, 0, _EchoNode())
+            env = wrap(SubmitOk(accepted=1), i, COORDINATOR, 0)
+            transport.request(env)
+            transport.close()
+        assert _loop_threads() == []
+        assert threading.active_count() <= baseline
+
+    def test_wedged_loop_thread_surfaces_transport_error(
+        self, toy_group, monkeypatch
+    ):
+        transport = TcpTransport(toy_group)
+        transport.register(0, 0, _EchoNode())
+        real_thread = transport._thread
+        real_loop = transport._loop
+
+        class _WedgedThread:
+            def join(self, timeout=None):
+                pass  # simulate a join that times out
+
+            def is_alive(self):
+                return True
+
+        transport._thread = _WedgedThread()
+        with pytest.raises(TransportError, match="did not stop"):
+            transport.close()
+        # The refs survive the failure (a retry is possible) and the
+        # still-running loop was NOT closed out from under its thread.
+        assert transport._thread is not None
+        assert transport._loop is real_loop
+        assert not transport._closed
+        assert not real_loop.is_closed()
+        # Swap the real thread back: the retry now succeeds cleanly.
+        transport._thread = real_thread
+        transport.close()
+        assert _loop_threads() == []
+        assert transport._closed
