@@ -7,7 +7,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test bench-smoke parity stream-smoke net-smoke persist-smoke chaos-smoke clean
+.PHONY: test-fast test bench-smoke parity stream-smoke net-smoke net-strict persist-smoke chaos-smoke fleet-smoke clean
 
 ## Fast suite: everything but the slow-marked benchmarks/sweeps (~35 s).
 test-fast:
@@ -51,6 +51,17 @@ persist-smoke:
 ## kill that heartbeats must detect and buddy recovery must heal.
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/chaos_smoke.py
+
+## Multi-process fleet end to end: a 3-round stream sharded over two
+## `repro serve` OS processes with a full rolling restart mid-stream,
+## byte-identical to the in-process baseline.
+fleet-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/fleet_smoke.py
+
+## tests/net and tests/fleet with RuntimeWarnings promoted to errors:
+## a leaked never-awaited coroutine in transport shutdown fails here.
+net-strict:
+	$(PYTEST) -q -W error::RuntimeWarning tests/net tests/fleet
 
 clean:
 	rm -rf src/repro_atom.egg-info build .pytest_cache

@@ -189,6 +189,39 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Host one fleet process: the ServerNodes of the plan's groups
+    behind a loopback TCP listener (see repro.fleet.server)."""
+    from repro.fleet.server import run_server
+
+    return run_server(args.plan, args.name)
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Operate a fleet: spawn it, probe it, roll it, tear it down."""
+    from repro.fleet.controller import FleetController, FleetError
+    from repro.fleet.plan import DeploymentPlan, PlanError
+
+    try:
+        plan = DeploymentPlan.load(args.plan)
+        controller = FleetController(plan, runtime_dir=args.runtime_dir)
+        if args.action == "up":
+            status = controller.up()
+            print(status.describe())
+        elif args.action == "status":
+            print(controller.status().describe())
+        elif args.action == "roll":
+            controller.roll()
+            print(controller.status().describe())
+        else:  # down
+            controller.down()
+            print("fleet: stopped")
+    except (OSError, PlanError, FleetError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run the calibrated performance simulator."""
     from repro.sim import AtomSimulator, SimConfig
@@ -386,6 +419,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_resume.add_argument("--state-dir", required=True)
     p_resume.set_defaults(func=cmd_resume)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="host one fleet process (spawned by `repro fleet up`)",
+    )
+    p_serve.add_argument(
+        "--plan", required=True, help="path to a saved DeploymentPlan"
+    )
+    p_serve.add_argument(
+        "--name", required=True, help="this process's name in the plan"
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="operate a multi-process fleet from a deployment plan",
+    )
+    p_fleet.add_argument(
+        "action",
+        choices=["up", "status", "roll", "down"],
+        help="up: spawn + readiness-gate; status: probe; "
+        "roll: rolling restart; down: terminate",
+    )
+    p_fleet.add_argument(
+        "--plan", required=True, help="path to a saved DeploymentPlan"
+    )
+    p_fleet.add_argument(
+        "--runtime-dir",
+        default=None,
+        help="where pids and per-process logs live "
+        "(default: <plan dir>/fleet-run)",
+    )
+    p_fleet.set_defaults(func=cmd_fleet)
 
     p_sim = sub.add_parser("simulate", help="run the performance simulator")
     p_sim.add_argument("--servers", type=int, default=1024)

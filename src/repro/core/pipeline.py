@@ -328,6 +328,10 @@ class StreamEngine:
         self._honest: Dict[int, List[Tuple[bytes, int]]] = {}
         #: per round: user ids injected by scheduled user attacks
         self._malicious_uids: Dict[int, List[int]] = {}
+        #: called with the settled round id after its endpoints are
+        #: released — the hook fleet rolling restarts run between
+        #: rounds (the stream keeps progressing across the restart)
+        self.on_round_settled: Optional[Callable[[int], None]] = None
 
     def close(self) -> None:
         """Release the deployment's pool and transport (the state
@@ -613,6 +617,10 @@ class StreamEngine:
         # The replacement group answers at a fresh endpoint: lift any
         # chaos-layer partition of the old (dead) one.
         self.deployment.revive_endpoint(gid)
+        if rnd.coordinator is not None:
+            # Fleet-homed group whose process died: host the restored
+            # group in-coordinator for the rest of the round.
+            rnd.coordinator.rehome_group(gid)
 
     # -- the stream --------------------------------------------------------
 
@@ -706,6 +714,8 @@ class StreamEngine:
             self._honest.pop(r, None)
             if rnd.coordinator is not None:
                 rnd.coordinator.release()
+            if self.on_round_settled is not None:
+                self.on_round_settled(r)
             rnd, stats = next_rnd, next_stats
 
     def _run_one_round(
@@ -736,6 +746,10 @@ class StreamEngine:
                 run.run_layer()
             except GroupStalled as stalled:
                 self._recover_group(rnd, stalled, stats)
+                if next_rnd is not None and next_rnd.coordinator is not None:
+                    # The pipelined round routes through the same dead
+                    # process; its intake continues locally too.
+                    next_rnd.coordinator.rehome_group(stalled.gid)
                 continue  # retry the same layer with the restored group
             except ProtocolAbort as failure:
                 stats.mix_wall_s += time.monotonic() - mix_started

@@ -80,8 +80,12 @@ class DeploymentConfig:
     #: (1 = serial, the paper's horizontal-scaling claim of Fig. 7)
     parallelism: int = 1
     #: how envelopes move between nodes: "inproc" (zero-copy direct
-    #: dispatch) or "tcp" (each node behind a loopback asyncio socket)
+    #: dispatch), "tcp" (each node behind a loopback asyncio socket) or
+    #: "fleet" (groups hosted by separate OS processes per `fleet_plan`)
     transport: str = "inproc"
+    #: path to a repro.fleet.plan.DeploymentPlan JSON; required (and
+    #: only meaningful) when transport == "fleet"
+    fleet_plan: Optional[str] = None
     #: directory for the durable state store (None: in-memory only —
     #: the no-op store, so nothing below pays for durability)
     state_dir: Optional[str] = None
@@ -120,8 +124,14 @@ class DeploymentConfig:
             raise ValueError("anytrust deployments have h = 1")
         if self.parallelism < 1:
             raise ValueError("parallelism must be >= 1")
-        if self.transport not in TRANSPORTS:
-            raise ValueError(f"transport must be one of {TRANSPORTS}")
+        if self.transport not in TRANSPORTS + ("fleet",):
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS + ('fleet',)}"
+            )
+        if self.transport == "fleet" and not self.fleet_plan:
+            raise ValueError(
+                "transport='fleet' needs fleet_plan (a DeploymentPlan path)"
+            )
         if self.rpc_attempts < 1:
             raise ValueError("rpc_attempts must be >= 1")
         if self.rpc_timeout is not None and self.rpc_timeout <= 0:
@@ -306,7 +316,15 @@ class AtomDeployment:
             from repro.net.transport import make_transport
 
             cfg = self.config
-            transport = make_transport(cfg.transport, self.group)
+            if cfg.transport == "fleet":
+                from repro.fleet.plan import DeploymentPlan
+                from repro.fleet.transport import FleetTransport
+
+                transport = FleetTransport(
+                    self.group, DeploymentPlan.load(cfg.fleet_plan)
+                )
+            else:
+                transport = make_transport(cfg.transport, self.group)
             if cfg._net_fault_plan is not None:
                 from repro.net.chaos import ChaosTransport
 
@@ -327,6 +345,17 @@ class AtomDeployment:
                 )
             self._transport = transport
         return self._transport
+
+    def _announce_round(self, round_id: int, fresh: bool, rng) -> None:
+        """Walk the transport chain and tell any fleet layer a round is
+        starting (duck-typed like :meth:`revive_endpoint`; a no-op for
+        purely local transports)."""
+        transport = self.transport()
+        while transport is not None:
+            open_round = getattr(transport, "open_round", None)
+            if open_round is not None:
+                open_round(round_id, fresh, rng)
+            transport = getattr(transport, "inner", None)
 
     def revive_endpoint(self, gid: int) -> None:
         """Buddy recovery re-hosted ``gid``: walk the transport chain
@@ -385,6 +414,10 @@ class AtomDeployment:
         # back here and re-forms identical contexts/trustees instead of
         # persisting secret keys.
         self.store.round_setup(round_id, rng, fresh=contexts is None)
+        # Fleet processes derive this round's contexts from the same
+        # pre-draw rng mark the store journals: announce it before the
+        # first draw so remote and local formation are byte-identical.
+        self._announce_round(round_id, fresh=contexts is None, rng=rng)
         if contexts is None:
             contexts = self.directory.form_groups(round_id, cfg.num_groups, rng)
         if cfg.topology == "square":

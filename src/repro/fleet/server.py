@@ -1,0 +1,379 @@
+"""The ``repro serve`` process: one fleet member, behind one socket.
+
+A serve process hosts the :class:`~repro.net.nodes.ServerNode` objects
+for the group ids its :class:`~repro.fleet.plan.ProcessSpec` assigns,
+all multiplexed behind a single listening TCP socket (framing identical
+to :class:`~repro.net.transport.TcpTransport`: ``u32 length ||
+envelope``, replies as ``u32 count`` + frames).  Envelopes addressed to
+:data:`~repro.net.envelopes.CONTROL` drive the process itself; every
+other destination dispatches to the node registered under
+``(round_id, dest)``.
+
+**Determinism.** The process never receives key material: a ROUND_OPEN
+carries the coordinator's pre-draw :class:`DeterministicRng` mark
+``(epoch_round, seed, counter)`` and the process re-runs
+``Directory.form_groups`` from that mark, yielding byte-identical
+:class:`~repro.core.group.GroupContext` objects (group formation is a
+pure function of the mark — server identity keys never enter round
+crypto).  A repeated ROUND_OPEN for a round id means the coordinator
+rebuilt the round (abort retry / rekey): the old per-round state is
+discarded.
+
+**Durability.** With a ``state_dir`` the process journals ROUND_OPEN /
+ROUND_CLOSE and every *accepted* intake envelope to a write-ahead log
+(fleet-local record types, ignored by the coordinator-side store's
+scanner).  A respawned process replays the log — re-deriving contexts
+from the journaled mark and re-handling the intake envelopes under
+their original request ids, which also repopulates the idempotency
+dedup cache — and rejoins the stream mid-flight.  This is what makes
+``repro fleet roll`` (drain → SIGTERM → respawn → recover → rejoin)
+safe between rounds.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import signal
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protocol import AtomDeployment
+from repro.crypto.groups import DeterministicRng
+from repro.net import envelopes as ev
+from repro.net.envelopes import Envelope
+from repro.net.nodes import ServerNode
+from repro.net.transport import _LEN
+from repro.store.store import Store
+from repro.store.wal import WriteAheadLog
+
+logger = logging.getLogger(__name__)
+
+#: fleet-local WAL record types — deliberately disjoint from
+#: repro.store.checkpoint.RecordType (1..12); unknown types survive
+#: either side's scanner, so the framing layer is shared verbatim.
+REC_OPEN = 21
+REC_CLOSE = 22
+REC_ENVELOPE = 23
+
+
+class _IntakeStore(Store):
+    """Per-process store: journal accepted intake envelopes (the only
+    hook :class:`ServerNode` calls) to the process WAL."""
+
+    enabled = True
+
+    def __init__(self, wal: Optional[WriteAheadLog]):
+        self.wal = wal
+
+    def envelope_accepted(self, env, group) -> None:
+        if self.wal is not None and not self.replaying:
+            self.wal.append(REC_ENVELOPE, env.to_bytes(group))
+
+
+class FleetServer:
+    """One plan-named fleet process; :meth:`serve_forever` is main()."""
+
+    def __init__(self, plan, name: str):
+        self.plan = plan
+        self.spec = plan.process(name)
+        self.config = plan.serve_config()
+        # The deployment supplies the directory (fleet/beacon wiring
+        # identical to the coordinator's) and the group backend; its
+        # transport/store are never touched in serve mode.
+        self.deployment = AtomDeployment(self.config)
+        self.group = self.deployment.group
+        #: serializes dispatch: the protocol relies on strict request
+        #: ordering, and controller probes may arrive concurrently
+        self.lock = threading.Lock()
+        #: one worker: MIX returns MIX_PENDING fast so *other processes*
+        #: mix concurrently; within a process, layers serialize anyway
+        self.pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"atom-fleet-{name}-mix"
+        )
+        self.nodes: Dict[Tuple[int, int], ServerNode] = {}
+        self.contexts = None
+        #: (epoch_round, seed, counter) the current contexts derive from
+        self.epoch: Optional[Tuple[int, bytes, int]] = None
+        self.wal: Optional[WriteAheadLog] = None
+        self.store = _IntakeStore(None)
+        self.ready = False
+        self.draining = threading.Event()
+        self._listener: Optional[socket.socket] = None
+
+    # -- round lifecycle ----------------------------------------------
+
+    def _derive_contexts(self, epoch_round: int, seed: bytes, counter: int):
+        mark = (epoch_round, seed, counter)
+        if self.epoch != mark:
+            rng = DeterministicRng.at(seed, counter)
+            self.contexts = self.deployment.directory.form_groups(
+                epoch_round, self.config.num_groups, rng
+            )
+            self.epoch = mark
+            logger.info(
+                "%s: derived %d contexts from epoch (round=%d, counter=%d)",
+                self.spec.name, len(self.contexts), epoch_round, counter,
+            )
+
+    def _open_round(
+        self,
+        round_id: int,
+        fresh: bool,
+        epoch_round: int,
+        seed: bytes,
+        counter: int,
+    ) -> None:
+        self._derive_contexts(epoch_round, seed, counter)
+        # Drop any earlier generation of this round (abort retry/rekey
+        # rebuilds the Round object; stale intake must not survive).
+        self._drop_round(round_id)
+        for gid in self.spec.gids:
+            self.nodes[(round_id, gid)] = ServerNode(
+                self.contexts[gid],
+                round_id,
+                self.config.variant,
+                pool=self.pool,
+                store=self.store,
+            )
+
+    def _drop_round(self, round_id: int) -> None:
+        for key in [k for k in self.nodes if k[0] == round_id]:
+            del self.nodes[key]
+
+    # -- WAL -----------------------------------------------------------
+
+    def _open_wal(self) -> None:
+        if self.spec.state_dir is None:
+            return
+        state_dir = Path(self.spec.state_dir)
+        state_dir.mkdir(parents=True, exist_ok=True)
+        path = state_dir / "fleet.wal"
+        existed = path.exists() and path.stat().st_size > 0
+        if existed:
+            self._replay(WriteAheadLog.read(path))
+        self.wal = WriteAheadLog(
+            path, fsync_every=self.config.wal_fsync_every, fresh=not existed
+        )
+        self.store.wal = self.wal
+
+    def _replay(self, scan) -> None:
+        """Rebuild per-round state from the journal: for every round
+        still open, re-derive contexts from its (latest) journaled mark
+        and re-handle the accepted intake envelopes under their
+        original request ids."""
+        rounds: Dict[int, dict] = {}
+        for rec in scan.records:
+            if rec.type == REC_OPEN:
+                meta = json.loads(rec.payload)
+                rid = meta["round_id"]
+                # a re-open supersedes all earlier state for the round
+                rounds.pop(rid, None)
+                rounds[rid] = {"meta": meta, "envs": []}
+            elif rec.type == REC_CLOSE:
+                rounds.pop(json.loads(rec.payload)["round_id"], None)
+            elif rec.type == REC_ENVELOPE:
+                env = Envelope.from_bytes(rec.payload, self.group)
+                if env.round_id in rounds:
+                    rounds[env.round_id]["envs"].append(env)
+        self.store.replaying = True
+        try:
+            for rid, info in rounds.items():
+                meta = info["meta"]
+                self._open_round(
+                    rid,
+                    meta["fresh"],
+                    meta["epoch_round"],
+                    bytes.fromhex(meta["seed"]),
+                    meta["counter"],
+                )
+                for env in info["envs"]:
+                    node = self.nodes.get((rid, env.dest))
+                    if node is not None:
+                        node.handle(env)
+                logger.info(
+                    "%s: replayed round %d (%d intake envelopes)",
+                    self.spec.name, rid, len(info["envs"]),
+                )
+        finally:
+            self.store.replaying = False
+
+    # -- dispatch ------------------------------------------------------
+
+    def _fault(self, request: Envelope, message: str) -> Envelope:
+        return ev.wrap(
+            ev.Fault(code="transport-error", message=message),
+            request.round_id,
+            request.dest,
+            ev.COORDINATOR,
+        )
+
+    def _handle_control(self, env: Envelope) -> List[Envelope]:
+        kind = env.kind
+        if kind is ev.Kind.ROUND_OPEN:
+            p = env.payload
+            if self.wal is not None:
+                self.wal.append(
+                    REC_OPEN,
+                    json.dumps(
+                        {
+                            "round_id": env.round_id,
+                            "fresh": p.fresh,
+                            "epoch_round": p.epoch_round,
+                            "seed": p.seed.hex(),
+                            "counter": p.counter,
+                        }
+                    ).encode(),
+                )
+                self.wal.sync()
+            self._open_round(
+                env.round_id, p.fresh, p.epoch_round, p.seed, p.counter
+            )
+            return [self._ok(env)]
+        if kind is ev.Kind.ROUND_CLOSE:
+            if self.wal is not None:
+                self.wal.append(
+                    REC_CLOSE, json.dumps({"round_id": env.round_id}).encode()
+                )
+                self.wal.sync()
+            self._drop_round(env.round_id)
+            return [self._ok(env)]
+        if kind is ev.Kind.FLEET_STATUS:
+            reply = ev.FleetStatusReply(
+                name=self.spec.name,
+                ready=self.ready,
+                pid=os.getpid(),
+                gids=tuple(self.spec.gids),
+                open_rounds=tuple(sorted({rid for rid, _ in self.nodes})),
+            )
+            return [ev.wrap(reply, env.round_id, ev.CONTROL, env.sender)]
+        if kind is ev.Kind.FLEET_SHUTDOWN:
+            self._start_drain("FLEET_SHUTDOWN")
+            return [self._ok(env)]
+        return [self._fault(env, f"unexpected control kind {kind.name}")]
+
+    @staticmethod
+    def _ok(env: Envelope) -> Envelope:
+        return ev.wrap(ev.ControlOk(), env.round_id, ev.CONTROL, env.sender)
+
+    def _dispatch(self, env: Envelope) -> List[Envelope]:
+        if env.dest == ev.CONTROL:
+            return self._handle_control(env)
+        node = self.nodes.get((env.round_id, env.dest))
+        if node is None:
+            return [
+                self._fault(
+                    env,
+                    f"no node {env.dest} open for round {env.round_id} "
+                    f"on process {self.spec.name!r}",
+                )
+            ]
+        try:
+            return node.handle(env)
+        except Exception as exc:  # crossed-wire: no raising back
+            return [self._fault(env, repr(exc))]
+
+    # -- socket loop ---------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self.draining.is_set():
+                head = _recv_exact(conn, _LEN.size)
+                if head is None:
+                    return
+                (length,) = _LEN.unpack(head)
+                raw = _recv_exact(conn, length)
+                if raw is None:
+                    return
+                env = Envelope.from_bytes(raw, self.group)
+                with self.lock:
+                    replies = self._dispatch(env)
+                out = [r.to_bytes(self.group) for r in replies]
+                conn.sendall(
+                    _LEN.pack(len(out))
+                    + b"".join(_LEN.pack(len(f)) + f for f in out)
+                )
+        except OSError:
+            pass  # peer vanished; nothing to clean beyond the socket
+        finally:
+            conn.close()
+
+    def _start_drain(self, why: str) -> None:
+        if not self.draining.is_set():
+            logger.info("%s: draining (%s)", self.spec.name, why)
+            self.draining.set()
+            listener = self._listener
+            if listener is not None:
+                try:
+                    listener.close()
+                except OSError:
+                    pass
+
+    def serve_forever(self) -> int:
+        try:
+            self._open_wal()
+        except Exception as exc:
+            print(
+                f"[serve:{self.spec.name}] state-dir unusable: {exc!r}",
+                flush=True,
+            )
+            return 2
+        try:
+            listener = socket.create_server(
+                (self.spec.host, self.spec.port), reuse_port=False
+            )
+        except OSError as exc:
+            print(
+                f"[serve:{self.spec.name}] cannot bind "
+                f"{self.spec.host}:{self.spec.port}: {exc}",
+                flush=True,
+            )
+            return 3
+        self._listener = listener
+        signal.signal(
+            signal.SIGTERM, lambda *_: self._start_drain("SIGTERM")
+        )
+        self.ready = True
+        print(
+            f"[serve:{self.spec.name}] ready on "
+            f"{self.spec.host}:{self.spec.port} gids={list(self.spec.gids)} "
+            f"pid={os.getpid()}",
+            flush=True,
+        )
+        while not self.draining.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                break  # listener closed by drain
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+        # Let any in-flight request finish, then seal the journal.
+        with self.lock:
+            if self.wal is not None:
+                self.wal.close()
+        self.pool.shutdown(wait=False, cancel_futures=True)
+        print(f"[serve:{self.spec.name}] drained, exiting", flush=True)
+        return 0
+
+
+def _recv_exact(conn: socket.socket, n: int) -> Optional[bytes]:
+    """Blocking exact read; None on clean EOF (peer closed)."""
+    chunks = bytearray()
+    while len(chunks) < n:
+        chunk = conn.recv(n - len(chunks))
+        if not chunk:
+            return None
+        chunks += chunk
+    return bytes(chunks)
+
+
+def run_server(plan_path: str, name: str) -> int:
+    from repro.fleet.plan import DeploymentPlan
+
+    plan = DeploymentPlan.load(plan_path)
+    return FleetServer(plan, name).serve_forever()

@@ -1,0 +1,255 @@
+"""Coordinator-side transport for a multi-process fleet.
+
+:class:`FleetTransport` routes each envelope by destination: group ids
+assigned in the :class:`~repro.fleet.plan.DeploymentPlan` go over a
+persistent TCP connection to the owning ``repro serve`` process (same
+``u32 length || envelope`` framing and error taxonomy as
+:class:`~repro.net.transport.TcpTransport`), everything else — the
+trustee, unassigned groups, buddy-recovered groups re-homed into the
+coordinator — dispatches to locally registered nodes, zero-copy.
+
+The control plane rides the same connection (strict request ordering
+is what keeps rounds deterministic): ``open_round`` broadcasts a
+ROUND_OPEN carrying the deterministic-rng epoch mark so every process
+re-derives byte-identical GroupContexts, and ``unregister_round``
+broadcasts ROUND_CLOSE so settled rounds are dropped (and not replayed
+after a restart).
+
+Connection failures surface as
+:class:`~repro.net.transport.RetryableTransportError`, so the standard
+:class:`~repro.net.resilience.ResilientTransport` wrapper transparently
+re-dials a process that was restarted (rolling restart) between
+requests.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.groups import GroupBackend as Group
+from repro.net import envelopes as ev
+from repro.net.envelopes import Envelope
+from repro.net.transport import (
+    _LEN,
+    _is_error_reply,
+    RetryableTransportError,
+    RpcTimeout,
+    Transport,
+    TransportError,
+)
+
+logger = logging.getLogger(__name__)
+
+NodeKey = Tuple[int, int]
+
+
+class FleetTransport(Transport):
+    name = "fleet"
+
+    #: attempts/backoff for control-plane broadcasts (they bypass the
+    #: ResilientTransport wrapper, which only sees node-addressed RPCs)
+    _CONTROL_ATTEMPTS = 5
+    _CONTROL_BACKOFF_S = 0.2
+    _CONTROL_TIMEOUT_S = 30.0
+
+    def __init__(self, group: Group, plan):
+        self.group = group
+        self.plan = plan
+        #: gid -> owning process name
+        self.placement: Dict[int, str] = plan.placement
+        self._specs = {p.name: p for p in plan.processes}
+        #: gids taken over by the coordinator after buddy recovery of a
+        #: dead process — later rounds host them locally from the start
+        self.rehomed: set = set()
+        self._local: Dict[NodeKey, object] = {}
+        self._conns: Dict[str, socket.socket] = {}
+        #: (epoch_round, seed, counter) — the rng mark remote processes
+        #: re-derive the current contexts from; refreshed on fresh opens
+        self._epoch: Optional[Tuple[int, bytes, int]] = None
+        self._closed = False
+
+    # -- registry ------------------------------------------------------
+
+    def register(self, round_id: int, node_id: int, node) -> None:
+        if node_id in self.placement:
+            # Remote-homed: the serve process builds this node itself
+            # on ROUND_OPEN; a local registration would shadow it.
+            return
+        self._local[(round_id, node_id)] = node
+
+    def rehome(self, round_id: int, gid: int, node) -> None:
+        """Route ``gid`` to an in-coordinator node from now on: buddy
+        recovery rebuilt the group locally after its process died."""
+        self.rehomed.add(gid)
+        self._local[(round_id, gid)] = node
+
+    def unregister_round(self, round_id: int) -> None:
+        for key in [k for k in self._local if k[0] == round_id]:
+            del self._local[key]
+        close = ev.wrap(
+            ev.RoundClose(), round_id, ev.COORDINATOR, ev.CONTROL
+        )
+        for name in self._specs:
+            try:
+                self._control(name, close)
+            except TransportError as exc:
+                # Best-effort: a process that is down right now will
+                # drop the round when its WAL replays the next OPEN.
+                logger.warning(
+                    "fleet: ROUND_CLOSE(%d) to %s failed: %s",
+                    round_id, name, exc,
+                )
+
+    # -- round lifecycle (duck-typed hook, see AtomDeployment) ---------
+
+    def open_round(self, round_id: int, fresh: bool, rng) -> None:
+        """Broadcast the round's rng epoch mark to every process.
+
+        Every call re-announces (even for an already-seen round id):
+        a repeated open means the coordinator rebuilt the Round object
+        (abort retry, §4.6 rekey) and the processes must reset their
+        per-round state to match.
+        """
+        if rng is None:
+            raise TransportError(
+                "fleet transport needs a seeded run: remote processes "
+                "derive group contexts from the DeterministicRng mark"
+            )
+        if fresh or self._epoch is None:
+            self._epoch = (round_id, rng.seed, rng.counter)
+        epoch_round, seed, counter = self._epoch
+        payload = ev.RoundOpen(
+            fresh=fresh, epoch_round=epoch_round, seed=seed, counter=counter
+        )
+        for name in self._specs:
+            env = ev.wrap(payload, round_id, ev.COORDINATOR, ev.CONTROL)
+            try:
+                self._control(name, env)
+            except TransportError as exc:
+                # Best-effort: a dead process cannot open the round, but
+                # its groups stall on first contact and buddy recovery
+                # re-homes them into the coordinator; failing here would
+                # kill the whole stream instead.
+                logger.warning(
+                    "fleet: ROUND_OPEN(%d) to %s failed: %s",
+                    round_id, name, exc,
+                )
+
+    def revive(self, gid: int) -> None:
+        """Buddy recovery revived ``gid``: drop the cached connection
+        to its (dead) owner so nothing reuses the stale socket."""
+        name = self.placement.get(gid)
+        if name is not None:
+            self._drop_connection(name)
+
+    # -- request path --------------------------------------------------
+
+    def request(self, env: Envelope, timeout=None) -> List[Envelope]:
+        node = self._local.get((env.round_id, env.dest))
+        if node is not None:
+            return node.handle(env)
+        name = (
+            self.placement.get(env.dest)
+            if env.dest not in self.rehomed
+            else None
+        )
+        if name is None:
+            raise TransportError(
+                f"no node {env.dest} registered for round {env.round_id}"
+            )
+        return self._rpc(name, env, timeout)
+
+    def _connection(self, name: str) -> socket.socket:
+        conn = self._conns.get(name)
+        if conn is None:
+            spec = self._specs[name]
+            try:
+                conn = socket.create_connection((spec.host, spec.port))
+            except OSError as exc:
+                raise RetryableTransportError(
+                    f"cannot reach fleet process {name!r} at "
+                    f"{spec.host}:{spec.port}: {exc}"
+                ) from exc
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._conns[name] = conn
+        return conn
+
+    def _drop_connection(self, name: str) -> None:
+        conn = self._conns.pop(name, None)
+        if conn is not None:
+            conn.close()
+
+    def _rpc(self, name: str, env: Envelope, timeout=None) -> List[Envelope]:
+        conn = self._connection(name)
+        conn.settimeout(timeout)
+        frame = env.to_bytes(self.group)
+        replies: List[Envelope] = []
+        try:
+            conn.sendall(_LEN.pack(len(frame)) + frame)
+            (count,) = _LEN.unpack(self._recv_exact(conn, _LEN.size))
+            for _ in range(count):
+                (length,) = _LEN.unpack(self._recv_exact(conn, _LEN.size))
+                replies.append(
+                    Envelope.from_bytes(
+                        self._recv_exact(conn, length), self.group
+                    )
+                )
+        except socket.timeout as exc:
+            self._drop_connection(name)
+            raise RpcTimeout(
+                f"request to fleet process {name!r} timed out "
+                f"after {timeout}s"
+            ) from exc
+        except (OSError, ev.WireFormatError, TransportError) as exc:
+            self._drop_connection(name)
+            raise RetryableTransportError(
+                f"request to fleet process {name!r} failed: {exc}"
+            ) from exc
+        for reply in replies:
+            if _is_error_reply(reply):
+                raise TransportError(
+                    f"fleet process {name!r} failed: {reply.payload.message}"
+                )
+        return replies
+
+    @staticmethod
+    def _recv_exact(conn: socket.socket, n: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < n:
+            chunk = conn.recv(n - len(chunks))
+            if not chunk:
+                raise RetryableTransportError("connection closed mid-frame")
+            chunks += chunk
+        return bytes(chunks)
+
+    # -- control plane -------------------------------------------------
+
+    def _control(self, name: str, env: Envelope) -> List[Envelope]:
+        """Send a control envelope with a built-in retry budget (these
+        bypass the ResilientTransport wrapper, which only decorates the
+        coordinator's node-addressed RPCs)."""
+        last: Optional[Exception] = None
+        for attempt in range(self._CONTROL_ATTEMPTS):
+            if attempt:
+                time.sleep(self._CONTROL_BACKOFF_S * attempt)
+            try:
+                return self._rpc(name, env, timeout=self._CONTROL_TIMEOUT_S)
+            except (RetryableTransportError, RpcTimeout) as exc:
+                last = exc
+        raise TransportError(
+            f"control RPC {env.kind.name} to fleet process {name!r} "
+            f"failed after {self._CONTROL_ATTEMPTS} attempts: {last}"
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for name in list(self._conns):
+            self._drop_connection(name)
+        self._local.clear()
+        self._closed = True

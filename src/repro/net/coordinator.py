@@ -52,6 +52,16 @@ from repro.net.resilience import RpcExhausted, SuspicionTracker
 from repro.net.transport import Transport, TransportError
 
 
+def _find_fleet(transport):
+    """Walk the decorator chain (Resilient -> Chaos -> base) for a
+    FleetTransport; None when the round is single-process."""
+    while transport is not None:
+        if getattr(transport, "name", None) == "fleet":
+            return transport
+        transport = getattr(transport, "inner", None)
+    return None
+
+
 class Coordinator:
     """Drives one round of the protocol over a transport."""
 
@@ -68,6 +78,24 @@ class Coordinator:
         self._released = False
         self.store = deployment.store
 
+        # Placement: under a fleet transport, gids assigned in the
+        # deployment plan live in other OS processes — no local node is
+        # built for them; everything else (all gids on inproc/tcp, plus
+        # unassigned gids and the trustee under a fleet) stays local.
+        self._fleet = _find_fleet(transport)
+        placed = (
+            set(self._fleet.placement) - self._fleet.rehomed
+            if self._fleet is not None
+            else set()
+        )
+        self.gids: List[int] = sorted(ctx.gid for ctx in rnd.contexts)
+        self._remote = {gid for gid in self.gids if gid in placed}
+        #: post-commit holdings mirror for remote groups, rebuilt from
+        #: the delivered MIX_BATCH envelopes at every commit (exactly
+        #: the sender-sorted adoption the nodes perform); None when the
+        #: whole round is local and direct node access suffices
+        self._view: Optional[Dict[int, List]] = {} if self._remote else None
+
         pool = deployment._mixing_pool() if len(rnd.contexts) > 1 else None
         self.nodes: Dict[int, ServerNode] = {
             ctx.gid: ServerNode(
@@ -75,6 +103,7 @@ class Coordinator:
                 store=self.store,
             )
             for ctx in rnd.contexts
+            if ctx.gid not in self._remote
         }
         for gid, node in self.nodes.items():
             transport.register(rnd.round_id, gid, node)
@@ -132,7 +161,20 @@ class Coordinator:
         return reply.accepted
 
     def intake_counts(self) -> Dict[int, int]:
-        return {gid: len(node.holdings) for gid, node in self.nodes.items()}
+        return {gid: len(self._holdings_view(gid)) for gid in self.gids}
+
+    def _holdings_view(self, gid: int) -> List:
+        """The coordinator's view of a group's current holdings: the
+        local node's for local groups; for fleet-homed groups, the
+        post-commit mirror (rebuilt from the delivered batches), or —
+        before the first commit — the round's intake mirror, which
+        appends in exactly the order the remote node does."""
+        node = self.nodes.get(gid)
+        if node is not None:
+            return node.holdings
+        if self._view:
+            return self._view.get(gid, [])
+        return self.rnd.holdings.get(gid, [])
 
     # -- mixing --------------------------------------------------------
 
@@ -161,7 +203,7 @@ class Coordinator:
         probed through its restored context, not the dead one."""
         if self.suspicion is None:
             return
-        for gid in sorted(self.nodes):
+        for gid in self.gids:
             self._probe_node(gid)
 
     def _probe_node(self, gid: int) -> None:
@@ -211,14 +253,19 @@ class Coordinator:
         layer = self.layer
         last = layer == topo.depth - 1
 
-        active = [
-            gid for gid in sorted(self.nodes) if self.nodes[gid].holdings
-        ]
+        active = [gid for gid in self.gids if self._holdings_view(gid)]
         cfg = self.deployment.config
         eligible = sum(
             1 for gid in active if rnd.contexts[gid].parallel_safe()
         )
-        use_pool = cfg.parallelism > 1 and len(rnd.contexts) > 1 and eligible > 1
+        # Pool when configured locally — or across a fleet, where each
+        # process's single mix worker turns MIX into MIX_PENDING and
+        # the layer runs concurrently across OS processes (the paper's
+        # horizontal scaling).  Either path is byte-identical to the
+        # inline mix given the same sub-seed.
+        use_pool = (
+            cfg.parallelism > 1 and len(rnd.contexts) > 1 and eligible > 1
+        ) or (bool(self._remote) and eligible > 1)
 
         batches: List[Envelope] = []
         audits = []
@@ -260,11 +307,30 @@ class Coordinator:
         try:
             for env in batches:
                 self.transport.request(env)
-            for gid in sorted(self.nodes):
+            for gid in self.gids:
                 self._send(ev.CommitLayer(layer=layer), gid)
         except Exception:
             self._abort_layer(layer)
             raise
+        if self._view is not None:
+            # Mirror the nodes' sender-sorted adoption so the view is
+            # byte-identical to every remote node's committed holdings.
+            staged: Dict[int, List] = {gid: [] for gid in self.gids}
+            for env in batches:
+                staged[env.dest].append((env.sender, env.payload.vectors))
+            self._view = {
+                gid: [
+                    vec
+                    for _, vectors in sorted(pairs, key=lambda p: p[0])
+                    for vec in vectors
+                ]
+                for gid, pairs in staged.items()
+            }
+        # Canonical per-layer audit order: collection order differs when
+        # a layer mixes inline (local) and pooled (remote) groups in one
+        # pass, so sort by gid — a no-op for the all-inline and
+        # all-pooled paths, which already emit gid-ascending.
+        audits.sort(key=lambda a: a.gid)
         for audit in audits:
             self.result.audits.append(audit)
             self.result.bytes_sent_total += audit.bytes_sent
@@ -278,7 +344,7 @@ class Coordinator:
                 self.layer,
                 self.rng,
                 audits,
-                {gid: list(node.holdings) for gid, node in self.nodes.items()},
+                {gid: list(self._holdings_view(gid)) for gid in self.gids},
             )
 
     def _sort_mix_replies(self, replies, batches, audits) -> None:
@@ -293,11 +359,40 @@ class Coordinator:
                 audits.append(env.payload.audit)
 
     def _abort_layer(self, layer: int) -> None:
-        for gid in sorted(self.nodes):
+        for gid in self.gids:
             try:
                 self._send(ev.AbortLayer(layer=layer), gid)
             except Exception:
                 pass
+
+    # -- recovery ------------------------------------------------------
+
+    def rehome_group(self, gid: int) -> None:
+        """§4.5 buddy recovery rebuilt a fleet-homed group whose OS
+        process died: host the restored group in-coordinator from now
+        on.  The dead process cannot come back with its pre-layer
+        state, but the coordinator's holdings view (delivered batches /
+        intake mirror) plus the round's commitment mirror reconstruct
+        the exact snapshot the recovered context must resume from."""
+        if self._fleet is None or gid not in self._remote:
+            return
+        rnd = self.rnd
+        deployment = self.deployment
+        pool = (
+            deployment._mixing_pool() if len(rnd.contexts) > 1 else None
+        )
+        node = ServerNode(
+            rnd.contexts[gid], self.round_id, deployment.config.variant,
+            pool=pool, store=self.store,
+        )
+        node.holdings = list(self._holdings_view(gid))
+        node.commitments = list(rnd.commitments.get(gid, []))
+        node._seen = {
+            vec.to_bytes() for vec in rnd.holdings.get(gid, [])
+        }
+        self._remote.discard(gid)
+        self.nodes[gid] = node
+        self._fleet.rehome(self.round_id, gid, node)
 
     # -- exit ----------------------------------------------------------
 
@@ -316,7 +411,7 @@ class Coordinator:
         if not self.done:
             raise RuntimeError(f"{self.remaining_layers} mixing layers remain")
         payloads_by_gid: Dict[int, List[bytes]] = {}
-        for gid in sorted(self.nodes):
+        for gid in self.gids:
             replies = self._send(ev.Exit(), gid)
             payloads_by_gid[gid] = list(replies[0].payload.payloads)
         try:

@@ -50,6 +50,8 @@ MAGIC = b"AT"
 #: well-known logical node addresses (server nodes use their gid >= 0)
 COORDINATOR = -1
 TRUSTEE = -2
+#: fleet-process control plane (round lifecycle, status, shutdown)
+CONTROL = -3
 
 
 class WireFormatError(ValueError):
@@ -86,6 +88,13 @@ class Kind(enum.IntEnum):
     # health (heartbeat failure detector)
     PING = 40
     PONG = 41
+    # fleet control plane (multi-process deployments)
+    ROUND_OPEN = 50
+    ROUND_CLOSE = 51
+    FLEET_STATUS = 52
+    FLEET_STATUS_REPLY = 53
+    FLEET_SHUTDOWN = 54
+    CONTROL_OK = 55
 
 
 # ---------------------------------------------------------------------------
@@ -775,6 +784,100 @@ class Pong(_Payload):
     @classmethod
     def _decode(cls, r: _Reader) -> "Pong":
         return cls(gid=r.u32(), alive=r.u32(), needed=r.u32())
+
+
+@_register(Kind.ROUND_OPEN)
+@dataclass
+class RoundOpen(_Payload):
+    """Coordinator -> fleet process: a round object now exists for the
+    header's round id.  Carries the deterministic-rng epoch mark
+    ``(epoch_round, seed, counter)`` from which the process re-derives
+    the identical :class:`~repro.core.group.GroupContext` objects the
+    coordinator formed (``Directory.form_groups`` is a pure function of
+    the mark) — no secrets cross the wire beyond the run's own seed.
+    A repeated ROUND_OPEN for the same round id means the coordinator
+    rebuilt the round (abort retry / rekey): the process discards any
+    prior state for that round and starts clean."""
+
+    fresh: bool
+    epoch_round: int
+    seed: bytes
+    counter: int
+
+    def _encode(self, w: _Writer) -> None:
+        w.bool_(self.fresh)
+        w.u32(self.epoch_round)
+        w.blob(self.seed)
+        w.u64(self.counter)
+
+    @classmethod
+    def _decode(cls, r: _Reader) -> "RoundOpen":
+        return cls(
+            fresh=r.bool_(), epoch_round=r.u32(), seed=r.blob(),
+            counter=r.u64(),
+        )
+
+
+@_register(Kind.ROUND_CLOSE)
+@dataclass
+class RoundClose(_Payload):
+    """Coordinator -> fleet process: the header's round is settled;
+    drop its nodes and journal the close so a restart does not replay
+    it."""
+
+
+@_register(Kind.FLEET_STATUS)
+@dataclass
+class FleetStatus(_Payload):
+    """Controller -> fleet process: readiness/liveness probe."""
+
+
+@_register(Kind.FLEET_STATUS_REPLY)
+@dataclass
+class FleetStatusReply(_Payload):
+    """Fleet process -> controller: identity plus readiness."""
+
+    name: str
+    ready: bool
+    pid: int
+    gids: Tuple[int, ...] = field(default_factory=tuple)
+    open_rounds: Tuple[int, ...] = field(default_factory=tuple)
+
+    def _encode(self, w: _Writer) -> None:
+        w.text(self.name)
+        w.bool_(self.ready)
+        w.u64(self.pid)
+        w.u32(len(self.gids))
+        for gid in self.gids:
+            w.u32(gid)
+        w.u32(len(self.open_rounds))
+        for rid in self.open_rounds:
+            w.u32(rid)
+
+    @classmethod
+    def _decode(cls, r: _Reader) -> "FleetStatusReply":
+        name = r.text()
+        ready = r.bool_()
+        pid = r.u64()
+        gids = tuple(r.u32() for _ in range(r.u32()))
+        open_rounds = tuple(r.u32() for _ in range(r.u32()))
+        return cls(
+            name=name, ready=ready, pid=pid, gids=gids,
+            open_rounds=open_rounds,
+        )
+
+
+@_register(Kind.FLEET_SHUTDOWN)
+@dataclass
+class FleetShutdown(_Payload):
+    """Controller -> fleet process: drain and exit gracefully (the
+    socket-level half of SIGTERM, for rolling restarts)."""
+
+
+@_register(Kind.CONTROL_OK)
+@dataclass
+class ControlOk(_Payload):
+    """Fleet process -> coordinator/controller: control op applied."""
 
 
 @_register(Kind.KEY_WITHHELD)

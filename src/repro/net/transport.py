@@ -35,13 +35,17 @@ from __future__ import annotations
 
 import abc
 import asyncio
+import inspect
+import logging
 import socket
 import struct
 import threading
-from typing import Dict, List, Tuple
+from typing import Awaitable, Callable, Dict, List, Tuple
 
 from repro.crypto.groups import GroupBackend as Group
 from repro.net.envelopes import Envelope, WireFormatError
+
+logger = logging.getLogger(__name__)
 
 NodeKey = Tuple[int, int]  # (round_id, node_id)
 
@@ -304,6 +308,51 @@ class TcpTransport(Transport):
 
     # -- lifecycle -----------------------------------------------------
 
+    #: Bound on every wait during close(); a wedged loop must surface
+    #: as an error, not hang the caller.  Class attribute so tests can
+    #: shrink it instead of sleeping out real 5 s timeouts.
+    _CLOSE_TIMEOUT_S = 5.0
+
+    def _run_on_loop(self, coro_fn: Callable[[], Awaitable], what: str) -> None:
+        """Run ``coro_fn()`` on the loop thread, waiting a bounded time.
+
+        The failure modes here used to be an ``except Exception: pass``
+        pair, which both swallowed real shutdown errors and leaked the
+        coroutine object un-awaited (the ``coroutine ... was never
+        awaited`` RuntimeWarning at GC) whenever the loop had stopped
+        before the callback ran.  Now the coroutine is closed
+        explicitly on every path where it never got to run, and any
+        failure is logged at warning level instead of vanishing.
+        """
+        coro = coro_fn()
+        try:
+            future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        except RuntimeError as exc:
+            # Loop already closed: the coroutine was never scheduled.
+            coro.close()
+            logger.warning("tcp close: could not schedule %s: %s", what, exc)
+            return
+        try:
+            future.result(timeout=self._CLOSE_TIMEOUT_S)
+        except TimeoutError:
+            # Loop stopped (or wedged) before running the callback.  If
+            # cancel() wins, the coroutine will never be awaited — close
+            # it so it cannot warn at GC; if it lost, the loop owns it.
+            cancelled = future.cancel()
+            if cancelled and (
+                inspect.getcoroutinestate(coro) == inspect.CORO_CREATED
+            ):
+                coro.close()
+            logger.warning(
+                "tcp close: %s did not finish within %.0fs",
+                what,
+                self._CLOSE_TIMEOUT_S,
+            )
+        except Exception:
+            # The coroutine ran and raised: shutdown continues, but the
+            # failure must be visible.
+            logger.warning("tcp close: %s failed", what, exc_info=True)
+
     def close(self) -> None:
         if self._closed:
             return
@@ -312,25 +361,14 @@ class TcpTransport(Transport):
         self._conns.clear()
         if self._loop is not None:
             if self._thread.is_alive():
-                # Bounded waits throughout: a wedged loop must surface
-                # as an error below, not hang the caller here (and a
-                # retried close after the loop already stopped must not
-                # block on coroutines that will never be scheduled).
                 for server, _ in self._servers.values():
-                    try:
-                        asyncio.run_coroutine_threadsafe(
-                            self._stop_server(server), self._loop
-                        ).result(timeout=5)
-                    except Exception:
-                        pass
-                try:
-                    asyncio.run_coroutine_threadsafe(
-                        self._drain_tasks(), self._loop
-                    ).result(timeout=5)
-                except Exception:
-                    pass
+                    self._run_on_loop(
+                        lambda server=server: self._stop_server(server),
+                        "server shutdown",
+                    )
+                self._run_on_loop(self._drain_tasks, "connection drain")
                 self._loop.call_soon_threadsafe(self._loop.stop)
-                self._thread.join(timeout=5)
+                self._thread.join(timeout=self._CLOSE_TIMEOUT_S)
             self._servers.clear()
             if self._thread.is_alive():
                 # The loop thread is wedged.  Closing a still-running

@@ -1,0 +1,33 @@
+"""Shared fleet-test plumbing: free loopback ports and a controller
+context manager that always tears the processes down."""
+
+import contextlib
+import socket
+
+import pytest
+
+
+def free_ports(n: int):
+    """Reserve-and-release n distinct loopback ports.  The release is
+    racy in principle, but the ports are handed straight to the serve
+    processes, and each test run draws a fresh set."""
+    socks = [socket.create_server(("127.0.0.1", 0)) for _ in range(n)]
+    ports = [s.getsockname()[1] for s in socks]
+    for s in socks:
+        s.close()
+    return ports
+
+
+@pytest.fixture()
+def running_fleet():
+    """Yields a ``start(controller)`` helper that guarantees down()."""
+
+    @contextlib.contextmanager
+    def start(controller):
+        try:
+            controller.up()
+            yield controller
+        finally:
+            controller.down()
+
+    return start

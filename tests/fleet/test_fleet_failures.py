@@ -1,0 +1,117 @@
+"""Fleet failure modes must fail loudly, with the process named and
+its log quoted — never hang or leave orphan children behind."""
+
+import socket
+import sys
+
+import pytest
+
+from repro.core import DeploymentConfig
+from repro.fleet.controller import FleetController, FleetError
+from repro.fleet.plan import DeploymentPlan, HealthCheck
+
+from tests.fleet.conftest import free_ports
+
+
+def _config():
+    return DeploymentConfig(
+        num_servers=6,
+        num_groups=2,
+        group_size=2,
+        variant="trap",
+        iterations=3,
+        message_size=8,
+        crypto_group="TOY",
+        nizk_rounds=4,
+    )
+
+
+def _plan(tmp_path, health=None, num=2):
+    plan = DeploymentPlan.build(
+        _config(), num, ports=free_ports(num), health=health
+    )
+    return plan.save(tmp_path / "plan.json")
+
+
+class _ScriptedController(FleetController):
+    """Controller whose children run an arbitrary one-liner instead of
+    `repro serve` — the spawn/readiness machinery under test is real."""
+
+    def __init__(self, plan, runtime_dir, script):
+        super().__init__(plan, runtime_dir=runtime_dir)
+        self.script = script
+
+    def _command(self, spec):
+        return [sys.executable, "-c", self.script.format(port=spec.port)]
+
+
+def test_unsaved_plan_rejected(tmp_path):
+    plan = DeploymentPlan.build(_config(), 2, ports=free_ports(2))
+    with pytest.raises(FleetError, match="saved to disk"):
+        FleetController(plan, runtime_dir=str(tmp_path))
+
+
+def test_child_exiting_during_spawn_fails_loudly(tmp_path):
+    plan = _plan(tmp_path, HealthCheck(interval_s=0.05, timeout_s=5.0))
+    controller = _ScriptedController(
+        plan, str(tmp_path / "run"),
+        "import sys; print('fleet child giving up'); sys.exit(3)",
+    )
+    with pytest.raises(FleetError, match=r"'p0' exited with code 3") as err:
+        controller.up()
+    # The child's own words made it into the error.
+    assert "fleet child giving up" in str(err.value)
+
+
+def test_port_already_in_use_fails_loudly(tmp_path):
+    plan = _plan(tmp_path, HealthCheck(interval_s=0.05, timeout_s=5.0))
+    squatter = socket.create_server(
+        ("127.0.0.1", plan.processes[0].port)
+    )
+    controller = FleetController(plan, runtime_dir=str(tmp_path / "run"))
+    try:
+        # The serve process exits with its bind-failure code, which the
+        # readiness gate turns into a named FleetError.
+        with pytest.raises(FleetError, match=r"'p0' exited with code 3"):
+            controller.up()
+    finally:
+        squatter.close()
+        controller.down()
+
+
+def test_never_ready_child_times_out(tmp_path):
+    # Binds the port but never speaks the protocol: probes time out
+    # (not connect-refused), and the deadline must still trip.
+    plan = _plan(
+        tmp_path,
+        HealthCheck(interval_s=0.05, timeout_s=0.6, probe_timeout_s=0.1),
+    )
+    controller = _ScriptedController(
+        plan, str(tmp_path / "run"),
+        "import socket, time; s = socket.create_server(('127.0.0.1', {port})); "
+        "time.sleep(60)",
+    )
+    with pytest.raises(FleetError, match=r"'p0' never became ready"):
+        controller.up()
+    # up() tears the half-started fleet down on failure: no orphans.
+    for name, child in list(controller._children.items()):
+        assert child.poll() is not None, f"{name} left running"
+
+
+def test_failed_up_leaves_no_children(tmp_path):
+    plan = _plan(tmp_path, HealthCheck(interval_s=0.05, timeout_s=5.0))
+    controller = _ScriptedController(
+        plan, str(tmp_path / "run"), "import sys; sys.exit(7)"
+    )
+    with pytest.raises(FleetError):
+        controller.up()
+    assert not controller._state_path.exists()
+    for child in controller._children.values():
+        assert child.poll() is not None
+
+
+def test_kill_without_pid_is_an_error(tmp_path):
+    plan = _plan(tmp_path)
+    controller = FleetController(plan, runtime_dir=str(tmp_path / "run"))
+    with pytest.raises(FleetError, match="no running pid"):
+        controller.kill("p0")

@@ -228,6 +228,27 @@ def payload_st(backend):
             alive=st.integers(min_value=0, max_value=9),
             needed=st.integers(min_value=0, max_value=9),
         ),
+        st.builds(
+            ev.RoundOpen,
+            fresh=st.booleans(),
+            epoch_round=st.integers(min_value=0, max_value=999),
+            seed=st.binary(min_size=1, max_size=48),
+            counter=st.integers(min_value=0, max_value=2**64 - 1),
+        ),
+        st.builds(ev.RoundClose),
+        st.builds(ev.FleetStatus),
+        st.builds(
+            ev.FleetStatusReply,
+            name=st.text(max_size=16),
+            ready=st.booleans(),
+            pid=st.integers(min_value=0, max_value=2**32),
+            gids=st.lists(gid, max_size=4).map(tuple),
+            open_rounds=st.lists(
+                st.integers(min_value=0, max_value=999), max_size=4
+            ).map(tuple),
+        ),
+        st.builds(ev.FleetShutdown),
+        st.builds(ev.ControlOk),
     )
 
 
@@ -245,8 +266,8 @@ def test_envelope_round_trip(backend, data):
     env = wrap(
         payload,
         round_id=data.draw(st.integers(min_value=0, max_value=2**31 - 1)),
-        sender=data.draw(st.integers(min_value=-2, max_value=63)),
-        dest=data.draw(st.integers(min_value=-2, max_value=63)),
+        sender=data.draw(st.integers(min_value=-3, max_value=63)),
+        dest=data.draw(st.integers(min_value=-3, max_value=63)),
         req_id=data.draw(st.integers(min_value=0, max_value=2**64 - 1)),
     )
     decoded = Envelope.from_bytes(env.to_bytes(group), group)
@@ -298,6 +319,16 @@ def test_every_kind_is_covered(backend):
         ),
         Kind.PING: ev.Ping(),
         Kind.PONG: ev.Pong(gid=1, alive=2, needed=2),
+        Kind.ROUND_OPEN: ev.RoundOpen(
+            fresh=True, epoch_round=2, seed=b"\x03" * 32, counter=17
+        ),
+        Kind.ROUND_CLOSE: ev.RoundClose(),
+        Kind.FLEET_STATUS: ev.FleetStatus(),
+        Kind.FLEET_STATUS_REPLY: ev.FleetStatusReply(
+            name="p0", ready=True, pid=4242, gids=(0, 2), open_rounds=(1,)
+        ),
+        Kind.FLEET_SHUTDOWN: ev.FleetShutdown(),
+        Kind.CONTROL_OK: ev.ControlOk(),
     }
     assert set(examples) == set(ev.all_payload_types()), (
         "catalogue drifted: update the examples (and the strategies)"

@@ -8,7 +8,10 @@ keeps the refs so the caller can retry; the success path still tears
 everything down, repeatably.
 """
 
+import gc
+import logging
 import threading
+import warnings
 
 import pytest
 
@@ -85,3 +88,88 @@ class TestClose:
         transport.close()
         assert _loop_threads() == []
         assert transport._closed
+
+
+class _ZombieThread:
+    """Reports alive forever, so close() takes the scheduling path."""
+
+    def join(self, timeout=None):
+        pass
+
+    def is_alive(self):
+        return True
+
+
+class TestCloseWarnings:
+    """close() must neither leak never-awaited coroutines nor swallow
+    shutdown failures silently (ISSUE 7 satellite bugs)."""
+
+    def test_close_emits_no_runtime_warnings(self, toy_group):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            transport = TcpTransport(toy_group)
+            transport.register(0, 0, _EchoNode())
+            env = wrap(SubmitOk(accepted=1), 0, COORDINATOR, 0)
+            transport.request(env)
+            transport.close()
+            gc.collect()
+
+    def test_close_after_loop_stopped_does_not_leak_coroutines(
+        self, toy_group, monkeypatch, caplog
+    ):
+        """The original bug: when the loop stops before close() gets to
+        schedule ``_stop_server``/``_drain_tasks``, the futures time
+        out and the coroutine objects were abandoned un-awaited —
+        Python warns ``coroutine ... was never awaited`` at GC.  Now
+        the coroutines are closed explicitly and the timeouts are
+        logged instead of swallowed."""
+        transport = TcpTransport(toy_group)
+        transport.register(0, 0, _EchoNode())
+        real_thread = transport._thread
+        transport._loop.call_soon_threadsafe(transport._loop.stop)
+        real_thread.join(timeout=5)
+        assert not real_thread.is_alive()
+
+        monkeypatch.setattr(TcpTransport, "_CLOSE_TIMEOUT_S", 0.05)
+        transport._thread = _ZombieThread()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            with caplog.at_level(logging.WARNING, "repro.net.transport"):
+                with pytest.raises(TransportError, match="did not stop"):
+                    transport.close()
+            gc.collect()
+        assert any(
+            "did not finish" in rec.getMessage() for rec in caplog.records
+        ), "abandoned close futures must be logged, not silent"
+        # Clean up for real: the dead thread lets close() finish.
+        transport._thread = real_thread
+        transport.close()
+        assert transport._closed
+
+    def test_failing_stop_server_is_logged_not_eaten(
+        self, toy_group, monkeypatch, caplog
+    ):
+        """A raising _stop_server used to vanish into ``except
+        Exception: pass``; it must now surface in the logs while close
+        still completes."""
+        transport = TcpTransport(toy_group)
+        transport.register(0, 0, _EchoNode())
+
+        async def _boom(server):
+            raise ValueError("server refused to stop")
+
+        monkeypatch.setattr(TcpTransport, "_stop_server", staticmethod(_boom))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            with caplog.at_level(logging.WARNING, "repro.net.transport"):
+                transport.close()
+            gc.collect()
+        assert transport._closed
+        assert _loop_threads() == []
+        failures = [
+            rec
+            for rec in caplog.records
+            if "server shutdown failed" in rec.getMessage()
+        ]
+        assert failures, "the _stop_server failure must be visible"
+        assert "server refused to stop" in str(failures[0].exc_info[1])
