@@ -19,18 +19,23 @@ test:
 	$(PYTEST) -x -q
 
 ## Benchmark smoke: regenerates BENCH_*.json at the repo root (the
-## fast-exponentiation engine and the MODP2048-vs-P256 backend
-## dimension); CI uploads the JSON as artifacts.
+## fast-exponentiation engine, the MODP2048-vs-P256 backend dimension,
+## and the bounded-memory data plane's RSS/throughput record); CI
+## uploads the JSON as artifacts.
 bench-smoke:
-	$(PYTEST) -q -s benchmarks/test_fastexp_speedup.py
+	$(PYTEST) -q -s benchmarks/test_fastexp_speedup.py \
+		benchmarks/test_streaming_rss.py
 
 ## Cross-backend parity only (quick confidence after touching crypto/).
 parity:
 	$(PYTEST) -q tests/crypto/test_backend_parity.py tests/crypto/test_ec.py
 
-## End-to-end stream on the paper's curve with the demo fault schedule.
+## End-to-end stream on the paper's curve with the demo fault schedule,
+## then a short spilling stream proving --spill-threshold end to end.
 stream-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli run-stream --rounds 6 --group p256
+	PYTHONPATH=src $(PYTHON) -m repro.cli run-stream --rounds 2 --group p256 \
+		--spill-threshold 8
 
 ## One full TCP-loopback round (every node behind a local socket) on
 ## the realistic Schnorr group and on the paper's curve.

@@ -310,9 +310,15 @@ def test_envelope_overhead(benchmark):
 
     # -- 2. inproc coordinator round vs the pre-refactor direct drive --
     def build_config():
+        # Pinned to the object plane: the direct-drive baseline below
+        # is an object-graph loop, so both sides must move objects for
+        # the ratio to isolate the envelope/coordinator overhead.  The
+        # batch plane's cost profile is tracked separately by
+        # test_streaming_rss ("streaming_rss" in BENCH_fastexp.json).
         return DeploymentConfig(
             num_servers=6, num_groups=2, group_size=2, variant="basic",
             iterations=3, message_size=8, crypto_group="P256",
+            data_plane="object",
         )
 
     def run_envelope_round() -> None:

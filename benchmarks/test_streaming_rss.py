@@ -1,0 +1,133 @@
+"""Bounded-memory data plane (``"streaming_rss"`` in BENCH_fastexp.json).
+
+Runs one complete seeded round per data plane in a **subprocess**
+(``scripts/stream_rss.py``) so ``ru_maxrss`` is the round's own peak
+RSS, not the pytest process's, and asserts the batch+spill plane stays
+under a fixed memory bound while recording msgs/s for trajectory
+tracking.  The default tier is sized for the tier-1 budget; scale it
+up with environment variables, e.g. the acceptance-scale run:
+
+    STREAM_RSS_MESSAGES=100000 STREAM_RSS_GROUP=P256 \\
+    STREAM_RSS_LIMIT_MIB=1024 \\
+        PYTHONPATH=src pytest -q -s benchmarks/test_streaming_rss.py
+
+(TOY at 10^5 finishes in minutes; P-256 at 10^5 is an hours-long
+soak on this 1-CPU container — the plane is the same code path, so
+the tiers differ only in scale.)
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import print_table
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO / "BENCH_fastexp.json"
+SCRIPT = REPO / "scripts" / "stream_rss.py"
+
+MESSAGES = int(os.environ.get("STREAM_RSS_MESSAGES", "5000"))
+GROUP = os.environ.get("STREAM_RSS_GROUP", "TOY").upper()
+SPILL_THRESHOLD = int(os.environ.get("STREAM_RSS_SPILL", "512"))
+# Fixed bound for the default tier (measured ~35 MiB peak; interpreter
+# baseline alone is ~25 MiB).  Env-overridden tiers bring their own.
+RSS_LIMIT_MIB = float(
+    os.environ.get(
+        "STREAM_RSS_LIMIT_MIB",
+        "160" if MESSAGES <= 5000 and GROUP == "TOY" else "1024",
+    )
+)
+
+
+def _update_bench(fields: dict) -> None:
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data.update(fields)
+    data["unix_time"] = int(time.time())
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _run_plane(data_plane: str, spill_threshold: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(SCRIPT),
+            "--messages", str(MESSAGES),
+            "--group", GROUP,
+            "--data-plane", data_plane,
+            "--spill-threshold", str(spill_threshold),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    report = json.loads(proc.stdout)
+    assert report["ok"] and report["delivered"] == MESSAGES
+    return report
+
+
+@pytest.mark.slow
+def test_streaming_rss():
+    batch = _run_plane("batch", SPILL_THRESHOLD)
+    legacy = _run_plane("object", 0)
+
+    # Incremental RSS over the interpreter+imports baseline is the
+    # plane's own footprint; the peak bound is the acceptance check.
+    batch_delta = batch["peak_rss_mib"] - batch["rss_baseline_mib"]
+    legacy_delta = legacy["peak_rss_mib"] - legacy["rss_baseline_mib"]
+
+    print_table(
+        f"Streaming RSS ({MESSAGES} msgs, {GROUP}, spill={SPILL_THRESHOLD})",
+        ["metric", "batch+spill", "object"],
+        [
+            ("peak RSS (MiB)", batch["peak_rss_mib"], legacy["peak_rss_mib"]),
+            ("RSS over baseline (MiB)", round(batch_delta, 1), round(legacy_delta, 1)),
+            ("after intake (MiB)", batch["rss_after_intake_mib"], legacy["rss_after_intake_mib"]),
+            ("intake (s)", batch["intake_s"], legacy["intake_s"]),
+            ("mix (s)", batch["mix_s"], legacy["mix_s"]),
+            ("msgs/s", batch["msgs_per_s"], legacy["msgs_per_s"]),
+        ],
+    )
+
+    _update_bench(
+        {
+            "streaming_rss": {
+                "crypto_group": GROUP,
+                "messages": MESSAGES,
+                "spill_threshold": SPILL_THRESHOLD,
+                "iterations": batch["iterations"],
+                "rss_limit_mib": RSS_LIMIT_MIB,
+                "batch_peak_rss_mib": batch["peak_rss_mib"],
+                "object_peak_rss_mib": legacy["peak_rss_mib"],
+                "batch_rss_over_baseline_mib": round(batch_delta, 1),
+                "object_rss_over_baseline_mib": round(legacy_delta, 1),
+                "batch_msgs_per_s": batch["msgs_per_s"],
+                "object_msgs_per_s": legacy["msgs_per_s"],
+                "batch_total_s": batch["total_s"],
+                "object_total_s": legacy["total_s"],
+            }
+        }
+    )
+
+    assert batch["peak_rss_mib"] <= RSS_LIMIT_MIB, (
+        f"batch+spill round peaked at {batch['peak_rss_mib']} MiB; "
+        f"the bounded-memory data plane must stay under {RSS_LIMIT_MIB} MiB"
+    )
+    # The redesign's point: the batch plane's own footprint must be
+    # well under the object plane's (measured ~4x less at this tier).
+    assert batch_delta <= 0.8 * legacy_delta, (
+        f"batch plane used {batch_delta:.1f} MiB over baseline vs the "
+        f"object plane's {legacy_delta:.1f} MiB — no longer bounded?"
+    )

@@ -32,6 +32,8 @@ def cmd_round(args: argparse.Namespace) -> int:
             parallelism=args.parallelism,
             transport=args.transport,
             state_dir=args.state_dir,
+            data_plane=args.data_plane,
+            spill_threshold=args.spill_threshold,
             net_faults=args.net_faults or None,
             rpc_timeout=args.rpc_timeout,
             heartbeat=args.heartbeat,
@@ -109,6 +111,8 @@ def cmd_run_stream(args: argparse.Namespace) -> int:
             parallelism=args.parallelism,
             transport=args.transport,
             state_dir=args.state_dir,
+            data_plane=args.data_plane,
+            spill_threshold=args.spill_threshold,
             net_faults=args.net_faults or None,
             rpc_timeout=args.rpc_timeout,
             heartbeat=args.heartbeat,
@@ -119,13 +123,17 @@ def cmd_run_stream(args: argparse.Namespace) -> int:
             # churn/tampering events when the variant cannot host them.
             schedule.events = [ev for ev in schedule.events if ev.action != "user"]
             print(f"(dropping user-attack events: {args.variant} variant)")
+        # Default seed chosen so the demo schedule's round-5 tampering
+        # is caught by the traps (an honest coin otherwise evades
+        # w.p. 1/2); the flag itself defaults to None uniformly.
+        seed = args.seed if args.seed is not None else "atom-rpc"
         engine = StreamEngine(
             config,
             schedule,
             StreamConfig(
                 rounds=args.rounds,
                 users_per_round=args.users,
-                seed=args.seed.encode(),
+                seed=seed.encode(),
             ),
         )
     except (FaultScheduleError, ValueError) as exc:
@@ -279,6 +287,28 @@ def cmd_list_groups(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_list_transports(args: argparse.Namespace) -> int:
+    """List transports and data planes (the `--transport` /
+    `--data-plane` choices of `round` and `run-stream`)."""
+    from repro.net.transport import TRANSPORTS
+
+    descriptions = {
+        "inproc": "zero-copy in-process dispatch (default)",
+        "tcp": "each node behind a loopback asyncio TCP socket",
+        "fleet": "groups hosted by separate OS processes "
+                 "(DeploymentConfig.fleet_plan; `repro fleet up`)",
+    }
+    print("transports (--transport):")
+    for name in TRANSPORTS + ("fleet",):
+        print(f"  {name:8s}  {descriptions.get(name, '')}")
+    print("data planes (--data-plane):")
+    for name in sorted(DATA_PLANES):
+        print(f"  {name:8s}  {DATA_PLANES[name]}")
+    print("spilling (--spill-threshold N): batch plane only; intake "
+          "overflows to scratch disk segments every N ciphertexts")
+    return 0
+
+
 def cmd_costs(args: argparse.Namespace) -> int:
     """§7 deployment cost estimate."""
     from repro.analysis.costs import estimate_server_cost
@@ -294,6 +324,30 @@ def cmd_costs(args: argparse.Namespace) -> int:
     return 0
 
 
+#: single source of truth for the flag wording shared across
+#: subcommands (`round`, `run-stream`, `resume`): keep `repro <cmd>
+#: --help` saying the same thing everywhere
+_STATE_DIR_HELP = (
+    "directory for the durable state store (write-ahead log + "
+    "checkpoints); an interrupted run continues with "
+    "`repro resume --state-dir DIR`"
+)
+_SEED_HELP = (
+    "deterministic rng seed (required for crash recovery; `round` "
+    "generates one when --state-dir is set, `run-stream` falls back "
+    "to its demo seed)"
+)
+
+#: data planes selectable via --data-plane (introspected by
+#: `repro list-transports`)
+DATA_PLANES = {
+    "batch": "contiguous serialized CiphertextBatch buffers "
+             "(bounded-memory; supports --spill-threshold)",
+    "object": "legacy per-vector object lists "
+              "(byte-equivalence baseline; no spilling)",
+}
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.crypto.groups import available_groups
     from repro.net.transport import TRANSPORTS
@@ -303,37 +357,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_group_arg(p, default):
-        # Choices come from the backend registry, so a backend
-        # registered via repro.crypto.groups.register_backend is
-        # immediately drivable from the CLI.
-        p.add_argument(
-            "--group",
-            "--crypto-group",
-            dest="crypto_group",
-            type=str.upper,
-            choices=available_groups(),
-            default=default,
-            help="group backend from the registry (see `repro list-groups`)",
-        )
-
-    def add_transport_arg(p):
-        p.add_argument(
-            "--transport",
-            choices=list(TRANSPORTS),
-            default="inproc",
-            help="how nodes exchange envelopes: zero-copy in-process "
-            "dispatch, or each node behind a loopback TCP socket",
-        )
-
-    def add_state_dir_arg(p):
-        p.add_argument(
-            "--state-dir",
-            default=None,
-            help="directory for the durable state store (write-ahead "
-            "log + checkpoints); an interrupted run continues with "
-            "`repro resume --state-dir DIR`",
-        )
+    # One parent parser for every deployment-shaped command, so
+    # --seed/--group/--transport/--state-dir/--data-plane/
+    # --spill-threshold are spelled, defaulted, and documented
+    # identically on `round` and `run-stream`.
+    deploy = argparse.ArgumentParser(add_help=False)
+    deploy.add_argument(
+        "--group",
+        "--crypto-group",
+        dest="crypto_group",
+        type=str.upper,
+        choices=available_groups(),
+        default="TOY",
+        help="group backend from the registry (see `repro list-groups`)",
+    )
+    deploy.add_argument(
+        "--transport",
+        choices=list(TRANSPORTS),
+        default="inproc",
+        help="how nodes exchange envelopes: zero-copy in-process "
+        "dispatch, or each node behind a loopback TCP socket "
+        "(see `repro list-transports`)",
+    )
+    deploy.add_argument("--state-dir", default=None, help=_STATE_DIR_HELP)
+    deploy.add_argument("--seed", default=None, help=_SEED_HELP)
+    deploy.add_argument(
+        "--data-plane",
+        choices=sorted(DATA_PLANES),
+        default="batch",
+        help="how ciphertexts live between protocol steps "
+        "(see `repro list-transports`)",
+    )
+    deploy.add_argument(
+        "--spill-threshold",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spill intake holdings to scratch disk segments every N "
+        "ciphertexts (0: never; batch data plane only) — bounds RSS "
+        "for very large rounds",
+    )
 
     def add_net_args(p):
         p.add_argument(
@@ -358,33 +421,27 @@ def build_parser() -> argparse.ArgumentParser:
             "surface sustained silence as GroupStalled (buddy recovery)",
         )
 
-    p_round = sub.add_parser("round", help="run a real protocol round")
+    p_round = sub.add_parser(
+        "round", parents=[deploy], help="run a real protocol round"
+    )
     p_round.add_argument("--users", type=int, default=8)
     p_round.add_argument("--groups", type=int, default=2)
     p_round.add_argument("--group-size", type=int, default=3)
     p_round.add_argument("--variant", choices=["basic", "nizk", "trap"], default="trap")
     p_round.add_argument("--iterations", type=int, default=4)
     p_round.add_argument("--message-size", type=int, default=24)
-    add_group_arg(p_round, "TEST")
     p_round.add_argument(
         "--parallelism",
         type=int,
         default=1,
         help="worker processes for mixing one layer's groups (1 = serial)",
     )
-    add_transport_arg(p_round)
-    add_state_dir_arg(p_round)
     add_net_args(p_round)
-    p_round.add_argument(
-        "--seed",
-        default=None,
-        help="deterministic rng seed (required for crash recovery; "
-        "generated automatically when --state-dir is set)",
-    )
     p_round.set_defaults(func=cmd_round)
 
     p_stream = sub.add_parser(
         "run-stream",
+        parents=[deploy],
         help="run N consecutive pipelined rounds under a fault schedule",
     )
     p_stream.add_argument("--rounds", type=int, default=20)
@@ -396,12 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--variant", choices=["basic", "nizk", "trap"], default="trap")
     p_stream.add_argument("--iterations", type=int, default=4)
     p_stream.add_argument("--message-size", type=int, default=24)
-    add_group_arg(p_stream, "TOY")
     p_stream.add_argument("--parallelism", type=int, default=1)
-    add_transport_arg(p_stream)
-    # default seed chosen so the demo schedule's round-5 tampering is
-    # caught by the traps (an honest coin otherwise evades w.p. 1/2)
-    p_stream.add_argument("--seed", default="atom-rpc")
     p_stream.add_argument(
         "--fault-schedule",
         default=DEFAULT_STREAM_FAULTS,
@@ -409,7 +461,6 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. 'r2.i1:fail-group:0:2;r5:tamper-group:1:0:replace_one;"
         "r8:user:duplicate_inner@1'); pass '' for a fault-free stream",
     )
-    add_state_dir_arg(p_stream)
     add_net_args(p_stream)
     p_stream.set_defaults(func=cmd_run_stream)
 
@@ -417,7 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
         "resume",
         help="continue an interrupted round or stream from its state dir",
     )
-    p_resume.add_argument("--state-dir", required=True)
+    p_resume.add_argument("--state-dir", required=True, help=_STATE_DIR_HELP)
     p_resume.set_defaults(func=cmd_resume)
 
     p_serve = sub.add_parser(
@@ -466,6 +517,12 @@ def build_parser() -> argparse.ArgumentParser:
         "list-groups", help="list registered group backends and sizes"
     )
     p_groups.set_defaults(func=cmd_list_groups)
+
+    p_transports = sub.add_parser(
+        "list-transports",
+        help="list transports and data planes (round/run-stream knobs)",
+    )
+    p_transports.set_defaults(func=cmd_list_transports)
 
     p_gs = sub.add_parser("group-size", help="anytrust/many-trust group sizing")
     p_gs.add_argument("--f", type=float, default=0.2)

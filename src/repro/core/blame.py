@@ -74,8 +74,8 @@ def identify_malicious_users(
         payloads = [
             _decrypt_submission_payload(ctx, sub.vector) for sub in submission.pair
         ]
-        traps = [p for p in payloads if fmt.is_trap_payload(p)]
-        inners = [p for p in payloads if fmt.is_inner_payload(p)]
+        traps = [p for p in payloads if fmt.PayloadSpec.is_trap(p)]
+        inners = [p for p in payloads if fmt.PayloadSpec.is_inner(p)]
 
         if len(traps) != 1 or len(inners) != 1:
             bad_trap_users.append(user_id)
@@ -84,7 +84,7 @@ def identify_malicious_users(
         if not verify_commitment(submission.trap_commitment, trap):
             bad_trap_users.append(user_id)
             continue
-        trap_gid, _ = fmt.parse_trap_payload(trap)
+        trap_gid, _ = fmt.PayloadSpec.parse_trap(trap)
         if trap_gid != gid:
             bad_trap_users.append(user_id)
             continue

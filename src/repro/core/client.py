@@ -77,7 +77,7 @@ class Client:
         payload_size: int,
     ) -> Submission:
         """Pad, encrypt to the entry group, and prove plaintext knowledge."""
-        payload = fmt.build_plain_payload(message, payload_size)
+        payload = fmt.PayloadSpec.sized(payload_size).build_plain(message)
         return self._submit_payload(payload, entry_key, gid)
 
     # -- trap variant -----------------------------------------------------
@@ -96,16 +96,17 @@ class Client:
         Returns the submission and the trap payload (kept by tests to
         verify commitments; a real client keeps it private).
         """
-        padded_msg = fmt.pad_payload(message, 4 + message_size)
+        spec = fmt.PayloadSpec.sized(payload_size)
+        padded_msg = spec.pad(message, 4 + message_size)
         inner = cca2_encrypt(self.group, trustee_key, padded_msg, self.rng)
-        inner_payload = fmt.build_inner_payload(self.group, inner, payload_size)
+        inner_payload = spec.build_inner(self.group, inner)
 
         nonce = (
             self.rng.randbytes(fmt.TRAP_NONCE_BYTES)
             if self.rng is not None
             else secrets.token_bytes(fmt.TRAP_NONCE_BYTES)
         )
-        trap_payload = fmt.build_trap_payload(gid, nonce, payload_size)
+        trap_payload = spec.build_trap(gid, nonce)
 
         sub_inner = self._submit_payload(inner_payload, entry_key, gid)
         sub_trap = self._submit_payload(trap_payload, entry_key, gid)

@@ -45,6 +45,7 @@ from repro.crypto.vector import (
     VectorShuffleProof,
     prove_vector_shuffle,
     reencrypt_vector,
+    rerandomize_vector,
     shuffle_vectors,
     verify_vector_shuffle,
 )
@@ -262,6 +263,117 @@ class GroupContext:
         for batch in batches:
             audit.bytes_sent += sum(v.size_bytes for v in batch)
         return batches, audit
+
+    def streaming_safe(self) -> bool:
+        """Whether this group may mix on the streaming (batch-buffer)
+        data plane: every member must be honest — the adversarial
+        tampering hooks operate on vector object lists (and must keep
+        doing so: the trap variant's catch probabilities are asserted
+        against that path), so instrumented groups mix via :meth:`mix`.
+        """
+        return all(s.streaming_safe for s in self.servers)
+
+    def mix_batch(
+        self,
+        batch,
+        next_keys: Sequence[Optional[GroupElement]],
+        rng: Optional[DeterministicRng] = None,
+    ):
+        """One honest iteration of Algorithm 1 over a contiguous
+        :class:`~repro.core.batch.CiphertextBatch` buffer.
+
+        Byte-identical to ``mix(list(batch), next_keys, verify=False,
+        rng)`` for an honest group: every rng draw happens in exactly
+        the same order —
+
+        1. per participant: the shuffle permutation, then one scalar
+           per ciphertext part in permuted-vector order (what
+           ``shuffle_vectors`` draws);
+        2. per participant: re-encryption randomness in batch-major
+           vector order — and because "Divide" is a *contiguous* split
+           (``route_batches``), batch-major order over the split equals
+           index order over the whole buffer, so ReEnc streams without
+           materializing per-successor lists.
+
+        Records are decoded one at a time and re-encoded into a fresh
+        output buffer, so peak memory is two serialized buffers (plus
+        one vector), never an object graph of the whole round.  Gated
+        by :meth:`streaming_safe` — callers route instrumented groups
+        and the NIZK variant through the object path.
+        """
+        from repro.core.batch import CiphertextBatch
+
+        audit = MixAudit(gid=self.gid)
+        participants = self.participants()
+        beta = len(next_keys)
+        if not beta:
+            raise ValueError("need at least one successor key")
+        current = (
+            batch
+            if isinstance(batch, CiphertextBatch)
+            else CiphertextBatch.from_vectors(self.group, batch)
+        )
+        n = len(current)
+        if n % beta:
+            raise ValueError(
+                f"group {self.gid}: {n} ciphertexts do not divide "
+                f"into {beta} batches"
+            )
+
+        # Step 1 — Shuffle, each participant in order.
+        for _position in participants:
+            perm = list(range(n))
+            if rng is not None:
+                rng.shuffle(perm)
+            else:
+                import secrets as _secrets
+
+                for i in range(n - 1, 0, -1):
+                    j = _secrets.randbelow(i + 1)
+                    perm[i], perm[j] = perm[j], perm[i]
+            rands = [
+                [
+                    self.group.random_scalar(rng)
+                    for _ in range(current.parts_count(perm[i]))
+                ]
+                for i in range(n)
+            ]
+            out = CiphertextBatch(self.group)
+            for i in range(n):
+                out.append(
+                    rerandomize_vector(
+                        self.scheme,
+                        self.public_key,
+                        current.vector(perm[i]),
+                        rands[i],
+                    )
+                )
+            current = out
+
+        # Steps 2+3 — Divide + Decrypt-and-Reencrypt, streamed in index
+        # order (vector i belongs to successor batch i // per).
+        per = n // beta
+        for index, position in enumerate(participants):
+            secret = self.effective_secret(position, participants)
+            last = index == len(participants) - 1
+            # Appendix A: the last server sets Y' = ⊥ before forwarding
+            # (fused per vector — with_y_bot draws no randomness)
+            strip_y = last and next_keys[0] is not None
+            out = CiphertextBatch(self.group)
+            for i in range(n):
+                vec = reencrypt_vector(
+                    self.scheme, secret, next_keys[i // per],
+                    current.vector(i), rng,
+                )
+                if strip_y:
+                    vec = vec.with_y_bot()
+                out.append(vec)
+            current = out
+
+        parts = current.split(beta)
+        for part in parts:
+            audit.bytes_sent += part.size_bytes_total()
+        return parts, audit
 
     def mix_with_reenc_proofs(
         self,

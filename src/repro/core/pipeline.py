@@ -498,8 +498,7 @@ class StreamEngine:
             return [dep.inject_trap_submission(rnd, gid, corrupted)]
         if attack == "two_traps":
             payloads = [
-                fmt.build_trap_payload(gid, self.rng.randbytes(fmt.TRAP_NONCE_BYTES),
-                                       spec.payload_size)
+                spec.build_trap(gid, self.rng.randbytes(fmt.TRAP_NONCE_BYTES))
                 for _ in range(2)
             ]
             subs = tuple(
@@ -513,17 +512,15 @@ class StreamEngine:
             # A double-write: two sybil users share one inner ciphertext,
             # so the exit's global de-duplication (and §4.6 blame) must
             # name both.
-            padded = fmt.pad_payload(b"double-write", 4 + msg_size)
+            padded = spec.pad(b"double-write", 4 + msg_size)
             inner = cca2_encrypt(
                 dep.group, rnd.trustees.public_key, padded, self.rng
             )
-            inner_payload = fmt.build_inner_payload(
-                dep.group, inner, spec.payload_size
-            )
+            inner_payload = spec.build_inner(dep.group, inner)
             uids = []
             for _ in range(2):
-                trap_payload = fmt.build_trap_payload(
-                    gid, self.rng.randbytes(fmt.TRAP_NONCE_BYTES), spec.payload_size
+                trap_payload = spec.build_trap(
+                    gid, self.rng.randbytes(fmt.TRAP_NONCE_BYTES)
                 )
                 sub_inner = self.client._submit_payload(
                     inner_payload, ctx.public_key, gid

@@ -86,6 +86,14 @@ class DeploymentConfig:
     #: path to a repro.fleet.plan.DeploymentPlan JSON; required (and
     #: only meaningful) when transport == "fleet"
     fleet_plan: Optional[str] = None
+    #: how ciphertexts live between protocol steps: "batch" (contiguous
+    #: CiphertextBatch buffers — the bounded-memory data plane) or
+    #: "object" (legacy per-vector object lists; escape hatch and
+    #: byte-equivalence baseline)
+    data_plane: str = "batch"
+    #: spill intake holdings to scratch disk segments every N vectors
+    #: (0: never spill; requires the batch data plane)
+    spill_threshold: int = 0
     #: directory for the durable state store (None: in-memory only —
     #: the no-op store, so nothing below pays for durability)
     state_dir: Optional[str] = None
@@ -132,6 +140,15 @@ class DeploymentConfig:
             raise ValueError(
                 "transport='fleet' needs fleet_plan (a DeploymentPlan path)"
             )
+        if self.data_plane not in ("batch", "object"):
+            raise ValueError("data_plane must be 'batch' or 'object'")
+        if self.spill_threshold < 0:
+            raise ValueError("spill_threshold must be >= 0")
+        if self.spill_threshold > 0 and self.data_plane == "object":
+            raise ValueError(
+                "spill_threshold requires the batch data plane "
+                "(object holdings cannot spill)"
+            )
         if self.rpc_attempts < 1:
             raise ValueError("rpc_attempts must be >= 1")
         if self.rpc_timeout is not None and self.rpc_timeout <= 0:
@@ -170,9 +187,10 @@ class InnerPayloadForger:
 
         from repro.crypto.kem import cca2_encrypt
 
-        filler = fmt.pad_payload(_secrets.token_bytes(8), 4 + self.message_size)
+        spec = fmt.PayloadSpec.sized(self.payload_size)
+        filler = spec.pad(_secrets.token_bytes(8), 4 + self.message_size)
         inner = cca2_encrypt(self.group, self.trustee_public, filler)
-        return fmt.build_inner_payload(self.group, inner, self.payload_size)
+        return spec.build_inner(self.group, inner)
 
 
 @dataclass
@@ -291,6 +309,48 @@ class AtomDeployment:
         #: lazily-created transport, shared by every round's coordinator
         #: (TCP keeps its event loop and sockets warm across a stream)
         self._transport = None
+        #: lazily-created scratch directory for spill segments
+        self._spill_dir: Optional[str] = None
+        self._spill_tmp = False
+
+    def spill_dir(self) -> Optional[str]:
+        """Scratch directory for spill-to-disk intake segments; None
+        when spilling is off.  Under ``state_dir`` when one exists
+        (``<state_dir>/spill``), else a fresh temp directory.  Contents
+        are scratch either way — recovery replays intake from the
+        deployment WAL, never from spill files."""
+        if self.config.spill_threshold <= 0:
+            return None
+        if self._spill_dir is None:
+            if self.config.state_dir:
+                from pathlib import Path
+
+                path = Path(self.config.state_dir) / "spill"
+                path.mkdir(parents=True, exist_ok=True)
+                self._spill_dir = str(path)
+            else:
+                import tempfile
+
+                self._spill_dir = tempfile.mkdtemp(prefix="atom-spill-")
+                self._spill_tmp = True
+        return self._spill_dir
+
+    def make_holdings(self, tag: str):
+        """A fresh holdings container for the configured data plane:
+        a plain list (object plane), a :class:`CiphertextBatch`, or a
+        :class:`SpillableHoldings` when spilling is on."""
+        if self.config.data_plane != "batch":
+            return []
+        if self.config.spill_threshold > 0:
+            from repro.store.spill import SpillableHoldings
+
+            return SpillableHoldings(
+                self.group, self.config.spill_threshold, self.spill_dir(),
+                tag=tag,
+            )
+        from repro.core.batch import CiphertextBatch
+
+        return CiphertextBatch(self.group)
 
     def _mixing_pool(self):
         if self.config.parallelism > 1 and self._pool is None:
@@ -377,6 +437,13 @@ class AtomDeployment:
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+        if self._spill_dir is not None:
+            # Spill segments are scratch: recovery never reads them.
+            import shutil
+
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
+            self._spill_tmp = False
         self.store.flush()
 
     def __enter__(self) -> "AtomDeployment":
@@ -435,6 +502,16 @@ class AtomDeployment:
             else None
         )
         rnd = Round(round_id, contexts, topology, trustees, self.spec.payload_size)
+        if cfg.data_plane == "batch":
+            # The client-side intake mirror tracks the nodes' containers:
+            # serialized batch buffers (spillable when configured), so a
+            # million-message intake never pins an object graph here
+            # either.  Tags differ from the node containers' so their
+            # scratch files never collide.
+            rnd.holdings = {
+                ctx.gid: self.make_holdings(f"mirror-r{round_id}-g{ctx.gid}")
+                for ctx in contexts
+            }
         if trustees is not None:
             # Arm the strongest modeled attacker: substituted ciphertexts
             # are *valid* inner ciphertexts to the trustees (so only the
@@ -594,7 +671,7 @@ class AtomDeployment:
                     nonce = (
                         rng.randbytes(12) if rng is not None else _secrets.token_bytes(12)
                     )
-                    payload = fmt.build_dummy_payload(nonce, self.spec.payload_size)
+                    payload = self.spec.build_dummy(nonce)
                     submission = client._submit_payload(
                         payload, rnd.context(gid).public_key, gid
                     )

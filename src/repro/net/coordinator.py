@@ -42,6 +42,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.core import messages as fmt
+from repro.core.batch import CiphertextBatch, vector_fingerprint
 from repro.core.group import GroupStalled
 from repro.crypto.groups import DeterministicRng
 from repro.crypto.kem import cca2_decrypt
@@ -101,6 +102,9 @@ class Coordinator:
             ctx.gid: ServerNode(
                 ctx, rnd.round_id, deployment.config.variant, pool=pool,
                 store=self.store,
+                data_plane=deployment.config.data_plane,
+                spill_threshold=deployment.config.spill_threshold,
+                spill_dir=deployment.spill_dir(),
             )
             for ctx in rnd.contexts
             if ctx.gid not in self._remote
@@ -317,15 +321,28 @@ class Coordinator:
             # byte-identical to every remote node's committed holdings.
             staged: Dict[int, List] = {gid: [] for gid in self.gids}
             for env in batches:
-                staged[env.dest].append((env.sender, env.payload.vectors))
-            self._view = {
-                gid: [
-                    vec
-                    for _, vectors in sorted(pairs, key=lambda p: p[0])
-                    for vec in vectors
-                ]
-                for gid, pairs in staged.items()
-            }
+                staged[env.dest].append((env.sender, env.payload))
+            if self.deployment.config.data_plane == "batch":
+                group = self.deployment.group
+                self._view = {
+                    gid: CiphertextBatch.concat(
+                        group,
+                        (
+                            payload.as_batch(group)
+                            for _, payload in sorted(pairs, key=lambda p: p[0])
+                        ),
+                    )
+                    for gid, pairs in staged.items()
+                }
+            else:
+                self._view = {
+                    gid: [
+                        vec
+                        for _, payload in sorted(pairs, key=lambda p: p[0])
+                        for vec in payload.vectors
+                    ]
+                    for gid, pairs in staged.items()
+                }
         # Canonical per-layer audit order: collection order differs when
         # a layer mixes inline (local) and pooled (remote) groups in one
         # pass, so sort by gid — a no-op for the all-inline and
@@ -344,8 +361,15 @@ class Coordinator:
                 self.layer,
                 self.rng,
                 audits,
-                {gid: list(self._holdings_view(gid)) for gid in self.gids},
+                # Checkpoint bytes are encoded synchronously inside
+                # layer_commit, so batch/spillable containers pass
+                # through without copying; plain lists still snapshot.
+                {gid: self._snapshot_holdings(gid) for gid in self.gids},
             )
+
+    def _snapshot_holdings(self, gid: int):
+        view = self._holdings_view(gid)
+        return list(view) if isinstance(view, list) else view
 
     def _sort_mix_replies(self, replies, batches, audits) -> None:
         """File a node's MIX replies; FAULTs become raised exceptions."""
@@ -384,11 +408,18 @@ class Coordinator:
         node = ServerNode(
             rnd.contexts[gid], self.round_id, deployment.config.variant,
             pool=pool, store=self.store,
+            data_plane=deployment.config.data_plane,
+            spill_threshold=deployment.config.spill_threshold,
+            spill_dir=deployment.spill_dir(),
         )
-        node.holdings = list(self._holdings_view(gid))
+        view = self._holdings_view(gid)
+        if isinstance(node.holdings, list):
+            node.holdings = list(view)
+        else:
+            node.holdings.extend(view)
         node.commitments = list(rnd.commitments.get(gid, []))
         node._seen = {
-            vec.to_bytes() for vec in rnd.holdings.get(gid, [])
+            vector_fingerprint(vec) for vec in rnd.holdings.get(gid, [])
         }
         self._remote.discard(gid)
         self.nodes[gid] = node
@@ -430,12 +461,13 @@ class Coordinator:
     def _plain_exit(self, payloads_by_gid: Dict[int, List[bytes]]):
         """Basic/NIZK exit: parse payloads, drop cover dummies (§3)."""
         result = self.result
+        spec = self.deployment.spec
         for gid in sorted(payloads_by_gid):
             for payload in payloads_by_gid[gid]:
-                if fmt.is_dummy_payload(payload):
+                if spec.is_dummy(payload):
                     continue  # cover traffic, discarded at exit (§3)
                 try:
-                    result.messages.append(fmt.parse_plain_payload(payload))
+                    result.messages.append(spec.parse_plain(payload))
                 except fmt.MessageFormatError:
                     result.aborted = True
                     result.abort_reason = "malformed payload at exit"
@@ -451,6 +483,7 @@ class Coordinator:
         """
         result = self.result
         cfg = self.deployment.config
+        spec = self.deployment.spec
         num_groups = cfg.num_groups
 
         traps_for_gid: Dict[int, List[bytes]] = {g: [] for g in range(num_groups)}
@@ -458,13 +491,13 @@ class Coordinator:
         malformed_from: List[int] = []
         for gid in sorted(payloads_by_gid):
             for payload in payloads_by_gid[gid]:
-                if fmt.is_trap_payload(payload):
-                    trap_gid, _ = fmt.parse_trap_payload(payload)
+                if spec.is_trap(payload):
+                    trap_gid, _ = spec.parse_trap(payload)
                     if 0 <= trap_gid < num_groups:
                         traps_for_gid[trap_gid].append(payload)
                     else:
                         malformed_from.append(gid)
-                elif fmt.is_inner_payload(payload):
+                elif spec.is_inner(payload):
                     # Universal-hash load balancing of inner ciphertexts.
                     digest = hashlib.sha3_256(payload).digest()
                     target = int.from_bytes(digest[:8], "big") % num_groups
@@ -513,10 +546,10 @@ class Coordinator:
         group = self.deployment.group
         for gid in range(num_groups):
             for payload in inners_for_gid[gid]:
-                inner = fmt.parse_inner_payload(group, payload)
+                inner = spec.parse_inner(group, payload)
                 try:
                     padded = cca2_decrypt(group, secret, inner)
-                    message = fmt.unpad_payload(padded)
+                    message = spec.unpad(padded)
                     marker = DUMMY_MAGIC[: cfg.message_size]
                     if message.startswith(marker):
                         continue  # trap-variant cover dummy

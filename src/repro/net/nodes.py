@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.core.batch import CiphertextBatch, vector_fingerprint
 from repro.core.client import Submission, TrapSubmission
 from repro.core.group import (
     GroupContext,
@@ -75,6 +76,9 @@ class ServerNode:
         variant: str,
         pool=None,
         store=None,
+        data_plane: str = "object",
+        spill_threshold: int = 0,
+        spill_dir=None,
     ):
         from repro.store import NullStore
 
@@ -86,8 +90,15 @@ class ServerNode:
         #: node-side, so the write-ahead log holds exactly the wire
         #: bytes this node admitted — on either transport
         self.store = store if store is not None else NullStore()
+        #: hot data plane: "batch" keeps holdings as contiguous
+        #: CiphertextBatch buffers (optionally spilling intake to disk
+        #: past spill_threshold vectors); "object" keeps the legacy
+        #: vector-object lists
+        self.data_plane = data_plane
+        self.spill_threshold = spill_threshold
+        self.spill_dir = spill_dir
         #: vectors awaiting the next mixing layer
-        self.holdings: List = []
+        self.holdings = self._make_holdings()
         #: trap commitments registered at submission time
         self.commitments: List[bytes] = []
         #: duplicate-submission filter (exact-copy replay, §2.3)
@@ -105,6 +116,43 @@ class ServerNode:
     @property
     def gid(self) -> int:
         return self.ctx.gid
+
+    # -- holdings containers --------------------------------------------
+
+    def _make_holdings(self):
+        """A fresh, empty holdings container for this node's data
+        plane.  Recovery may later assign a plain list regardless of
+        plane (checkpoint snapshots decode to vectors); every consumer
+        below stays polymorphic over list / batch / spillable."""
+        if self.data_plane != "batch":
+            return []
+        if self.spill_threshold > 0 and self.spill_dir is not None:
+            from repro.store.spill import SpillableHoldings
+
+            return SpillableHoldings(
+                self.ctx.group,
+                self.spill_threshold,
+                self.spill_dir,
+                tag=f"r{self.round_id}-g{self.gid}",
+            )
+        return CiphertextBatch(self.ctx.group)
+
+    def _holdings_batch(self) -> CiphertextBatch:
+        """Current holdings as one contiguous batch (splices for batch
+        containers; encodes when recovery assigned a plain list)."""
+        holdings = self.holdings
+        if isinstance(holdings, CiphertextBatch):
+            return holdings
+        as_batch = getattr(holdings, "as_batch", None)
+        if as_batch is not None:
+            return as_batch()
+        return CiphertextBatch.from_vectors(self.ctx.group, holdings)
+
+    def _holdings_list(self) -> List:
+        """Current holdings as a vector list (the legacy mix paths and
+        the pickled pool task want object graphs)."""
+        holdings = self.holdings
+        return holdings if isinstance(holdings, list) else list(holdings)
 
     # -- dispatch ------------------------------------------------------
 
@@ -169,7 +217,7 @@ class ServerNode:
                         ev.SubmitErr("EncProof verification failed at entry")
                     )
                 ]
-            fingerprint = sub.vector.to_bytes()
+            fingerprint = vector_fingerprint(sub.vector)
             if fingerprint in self._seen or fingerprint in fingerprints:
                 return [
                     self._reply(
@@ -222,11 +270,19 @@ class ServerNode:
         try:
             if self.variant == "nizk":
                 batches, audit = self.ctx.mix_with_reenc_proofs(
-                    self.holdings, list(payload.next_keys), rng
+                    self._holdings_list(), list(payload.next_keys), rng
+                )
+            elif self.data_plane == "batch" and self.ctx.streaming_safe():
+                # Streaming path: mix over the contiguous buffer —
+                # byte-identical to mix() (see GroupContext.mix_batch),
+                # never materializing the round as an object graph.
+                batches, audit = self.ctx.mix_batch(
+                    self._holdings_batch(), list(payload.next_keys), rng=rng
                 )
             else:
                 batches, audit = self.ctx.mix(
-                    self.holdings, list(payload.next_keys), verify=False, rng=rng
+                    self._holdings_list(), list(payload.next_keys),
+                    verify=False, rng=rng,
                 )
         except (ProtocolAbort, GroupStalled) as exc:
             return [self._reply(_fault_from(exc))]
@@ -248,29 +304,40 @@ class ServerNode:
         return self._mix_replies(layer, successors, batches, audit)
 
     def _mix_replies(self, layer, successors, batches, audit) -> List[Envelope]:
+        # MixBatch.of keeps whichever container the mix produced:
+        # streaming CiphertextBatch buffers are spliced onto the wire
+        # (or handed through zero-copy in-process) without re-encoding.
         replies = [
-            self._reply(
-                ev.MixBatch(layer=layer, vectors=tuple(batch)), dest=succ
-            )
+            self._reply(ev.MixBatch.of(layer, batch), dest=succ)
             for succ, batch in zip(successors, batches)
         ]
         replies.append(self._reply(ev.MixSummary(layer=layer, audit=audit)))
         return replies
 
     def _on_mix_batch(self, env: Envelope) -> List[Envelope]:
-        self._pending.append((env.sender, env.payload.vectors))
+        self._pending.append((env.sender, env.payload))
         return []
 
     def _on_commit_layer(self, env: Envelope) -> List[Envelope]:
         # Adopt sorted by sender: batch arrival order carries no
         # meaning (the mix permutes anyway), and sorting makes chaos
         # reordering invisible to the committed state.
-        self.holdings = [
-            vec
-            for _, vectors in sorted(self._pending, key=lambda p: p[0])
-            for vec in vectors
-        ]
+        holdings = self._make_holdings()
+        if isinstance(holdings, list):
+            for _, payload in sorted(self._pending, key=lambda p: p[0]):
+                holdings.extend(payload.vectors)
+        else:
+            # batch plane: adopt by buffer splice — wire-decoded
+            # batches are never turned into object graphs here
+            for _, payload in sorted(self._pending, key=lambda p: p[0]):
+                holdings.extend(payload.as_batch(self.ctx.group))
+        replaced = self.holdings
+        self.holdings = holdings
         self._pending = []
+        # a spillable container being replaced drops its scratch files
+        release = getattr(replaced, "release", None)
+        if release is not None:
+            release()
         return []
 
     def _on_abort_layer(self, env: Envelope) -> List[Envelope]:

@@ -187,6 +187,24 @@ class Snapshot:
     holdings: Dict[int, Tuple]  # gid -> tuple of CiphertextVector
 
 
+def _write_holdings(w: "Writer", items) -> None:
+    """``_write_vectors``-layout encoding of one group's holdings,
+    polymorphic over the data-plane containers: a CiphertextBatch (or
+    anything exposing ``as_batch``) splices its already-serialized
+    records — byte-identical to encoding the decoded vectors — while a
+    plain list takes the object codec path."""
+    from repro.core.batch import CiphertextBatch
+
+    as_batch = getattr(items, "as_batch", None)
+    if as_batch is not None:
+        items = as_batch()
+    if isinstance(items, CiphertextBatch):
+        w.u32(len(items))
+        w.buf += items.raw_records()
+        return
+    _write_vectors(w, tuple(items))
+
+
 def encode_checkpoint(
     group: Group, round_id: int, layer: int, holdings: Dict[int, list]
 ) -> bytes:
@@ -196,7 +214,7 @@ def encode_checkpoint(
     w.u32(len(holdings))
     for gid in sorted(holdings):
         w.u32(gid)
-        _write_vectors(w, tuple(holdings[gid]))
+        _write_holdings(w, holdings[gid])
     return bytes(w.buf)
 
 
@@ -221,7 +239,7 @@ _CONFIG_FIELDS = (
     "num_servers", "num_groups", "group_size", "variant", "mode", "h",
     "adversarial_fraction", "iterations", "message_size", "crypto_group",
     "topology", "nizk_rounds", "num_trustees", "parallelism", "transport",
-    "wal_fsync_every", "checkpoint_every",
+    "wal_fsync_every", "checkpoint_every", "data_plane", "spill_threshold",
 )
 
 

@@ -1,0 +1,186 @@
+"""Spill-to-disk intake holdings: bounded-RSS million-message rounds.
+
+A :class:`SpillableHoldings` is a drop-in holdings container for
+:class:`~repro.net.nodes.ServerNode`: it accumulates ciphertext records
+in an in-memory :class:`~repro.core.batch.CiphertextBatch` and, every
+``threshold`` vectors, journals the full buffer as one
+``SPILL_SEGMENT`` record to a per-container scratch log (the PR 5 WAL
+framing, CRC per segment) and resets the in-memory batch.  Intake of a
+10^5–10^6-message round therefore holds at most ``threshold`` records
+in RSS regardless of round size.
+
+Spill logs are **scratch**, not durability: crash recovery rebuilds
+intake by replaying the journaled SUBMIT envelopes from the deployment
+WAL, so a container never re-reads a previous process's spill files —
+each one opens a fresh uniquely-named log and unlinks it when the
+container is released (or garbage-collected).
+
+Iteration streams segments back one at a time (via
+``WriteAheadLog.iter_records``), so walking spilled holdings is also
+bounded; :meth:`as_batch` materializes the concatenated buffer for the
+mixing phase, whose working set is inherently the whole batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import weakref
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.core.batch import CiphertextBatch
+from repro.crypto.vector import CiphertextVector
+from repro.store.wal import RecordType, WriteAheadLog
+
+#: process-wide spill-file sequence: containers re-created for the same
+#: (round, gid) — one per committed layer — must never share a path,
+#: or a late finalizer would unlink the successor's live file
+_SEQ = itertools.count()
+
+
+def _cleanup(wal: WriteAheadLog, path: Path) -> None:
+    try:
+        wal.close()
+    except Exception:
+        pass
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+class SpillableHoldings:
+    """List-like ciphertext holdings that overflow to disk."""
+
+    def __init__(
+        self,
+        group,
+        threshold: int,
+        directory: Union[str, Path],
+        tag: str = "holdings",
+    ):
+        self.group = group
+        self.threshold = max(1, int(threshold))
+        self.directory = Path(directory)
+        self.tag = tag
+        self._mem = CiphertextBatch(group)
+        self._wal = None
+        self._path = None
+        self._spilled = 0  # vectors resident on disk
+        self._segments = 0
+        self._finalizer = None
+
+    # -- spilling --------------------------------------------------------
+
+    def _spill(self) -> None:
+        if self._wal is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._path = self.directory / f"{self.tag}-{next(_SEQ)}.spill"
+            # fsync never: segments are scratch — losing them in a
+            # crash is fine, intake replays from the deployment WAL
+            self._wal = WriteAheadLog(self._path, fsync_every=0, fresh=True)
+            self._finalizer = weakref.finalize(
+                self, _cleanup, self._wal, self._path
+            )
+        self._wal.append(RecordType.SPILL_SEGMENT, self._mem.to_bytes())
+        self._spilled += len(self._mem)
+        self._segments += 1
+        self._mem = CiphertextBatch(self.group)
+
+    def release(self) -> None:
+        """Drop the container's disk footprint (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._wal = None
+        self._path = None
+        self._spilled = 0
+        self._segments = 0
+        self._mem = CiphertextBatch(self.group)
+
+    @property
+    def spilled(self) -> int:
+        """Vectors currently resident on disk (tests/benchmarks)."""
+        return self._spilled
+
+    @property
+    def segments(self) -> int:
+        return self._segments
+
+    @property
+    def path(self):
+        return self._path
+
+    # -- container protocol ------------------------------------------------
+
+    def append(self, vec: CiphertextVector) -> None:
+        self._mem.append(vec)
+        if len(self._mem) >= self.threshold:
+            self._spill()
+
+    def extend(
+        self, items: Union[CiphertextBatch, Iterable[CiphertextVector]]
+    ) -> None:
+        if isinstance(items, CiphertextBatch):
+            # splice threshold-sized slices: no decode, bounded memory
+            n = len(items)
+            i = 0
+            while i < n:
+                take = min(self.threshold - len(self._mem), n - i)
+                self._mem.extend_raw(items.slice(i, i + take))
+                i += take
+                if len(self._mem) >= self.threshold:
+                    self._spill()
+            return
+        as_batch = getattr(items, "as_batch", None)
+        if as_batch is not None:
+            self.extend(as_batch())
+            return
+        for vec in items:
+            self.append(vec)
+
+    def __len__(self) -> int:
+        return self._spilled + len(self._mem)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def _disk_segments(self) -> Iterator[CiphertextBatch]:
+        if self._wal is None:
+            return
+        self._wal.sync()
+        for rec in WriteAheadLog.iter_records(self._path):
+            if rec.type == RecordType.SPILL_SEGMENT:
+                yield CiphertextBatch.from_bytes(self.group, rec.payload)
+
+    def __iter__(self) -> Iterator[CiphertextVector]:
+        """Disk segments in spill order, then the in-memory tail —
+        exactly the append order, so the container is order-transparent."""
+        for segment in self._disk_segments():
+            yield from segment
+        yield from self._mem
+
+    def as_batch(self) -> CiphertextBatch:
+        """The full holdings as one contiguous batch (byte splices —
+        no record is decoded)."""
+        out = CiphertextBatch(self.group)
+        for segment in self._disk_segments():
+            out.extend_raw(segment)
+        out.extend_raw(self._mem)
+        return out
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SpillableHoldings):
+            return self.as_batch() == other.as_batch()
+        if isinstance(other, (CiphertextBatch, list, tuple)):
+            return self.as_batch() == other
+        return NotImplemented
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return (
+            f"SpillableHoldings({self.tag}, n={len(self)}, "
+            f"{self._spilled} spilled/{self._segments} segments)"
+        )

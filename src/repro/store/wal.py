@@ -76,6 +76,11 @@ class RecordType(enum.IntEnum):
     RESUME = 11
     #: clean shutdown — nothing to replay on the next start
     CLEAN = 12
+    #: one spilled intake segment (a CiphertextBatch buffer).  Written
+    #: to per-group *scratch* spill logs under the spill directory,
+    #: never to the deployment WAL — crash recovery rebuilds intake
+    #: from the journaled ENVELOPE records instead.
+    SPILL_SEGMENT = 13
 
 
 @dataclass(frozen=True)
@@ -159,6 +164,38 @@ class WriteAheadLog:
             self._closed = True
 
     # -- reading -------------------------------------------------------
+
+    @staticmethod
+    def iter_records(path: Union[str, Path]):
+        """Stream a log's intact records one at a time.
+
+        Same framing and tail tolerance as :meth:`read`, but the file
+        is consumed incrementally — a multi-gigabyte spill log never
+        sits in memory whole.  Stops silently at the first damaged
+        frame (spill logs are scratch; the WAL proper uses
+        :meth:`read`, which also diagnoses the tear)."""
+        with open(path, "rb") as fh:
+            head = fh.read(len(MAGIC) + 1)
+            if len(head) < len(MAGIC) + 1 or head[: len(MAGIC)] != MAGIC:
+                raise WalError(f"{path} is not a write-ahead log (bad magic)")
+            if head[len(MAGIC)] != WAL_VERSION:
+                raise WalError(
+                    f"{path} has log version {head[len(MAGIC)]}, "
+                    f"expected {WAL_VERSION}"
+                )
+            while True:
+                frame_head = fh.read(_FRAME_HEAD.size)
+                if len(frame_head) < _FRAME_HEAD.size:
+                    return
+                rtype, length = _FRAME_HEAD.unpack(frame_head)
+                body = fh.read(length + _CRC.size)
+                if len(body) < length + _CRC.size:
+                    return
+                payload = body[:length]
+                (crc,) = _CRC.unpack_from(body, length)
+                if crc != (zlib.crc32(frame_head + payload) & 0xFFFFFFFF):
+                    return
+                yield WalRecord(type=rtype, payload=payload)
 
     @staticmethod
     def read(path: Union[str, Path]) -> WalScan:

@@ -116,3 +116,44 @@ class TestPayloadSpec:
         small = fmt.PayloadSpec.for_deployment(group, 16, trap_variant=True)
         large = fmt.PayloadSpec.for_deployment(group, 160, trap_variant=True)
         assert large.payload_size > small.payload_size
+
+
+class TestPayloadSpecCodec:
+    """The codec methods are the canonical API; the legacy free
+    functions must stay byte-identical thin aliases."""
+
+    def test_builders_match_aliases(self, group):
+        spec = fmt.PayloadSpec.for_deployment(group, 32, trap_variant=True)
+        size = spec.payload_size
+        assert spec.build_plain(b"msg") == fmt.build_plain_payload(b"msg", size)
+        assert spec.build_dummy(b"n" * 12) == fmt.build_dummy_payload(b"n" * 12, size)
+        assert spec.build_trap(3, b"x" * 16) == fmt.build_trap_payload(3, b"x" * 16, size)
+        scheme = AtomElGamal(group)
+        kp = scheme.keygen()
+        inner = cca2_encrypt(group, kp.public, b"hello")
+        assert spec.build_inner(group, inner) == fmt.build_inner_payload(
+            group, inner, size
+        )
+
+    def test_round_trip_through_methods(self, group):
+        spec = fmt.PayloadSpec.for_deployment(group, 32, trap_variant=True)
+        assert spec.parse_plain(spec.build_plain(b"hi")) == b"hi"
+        assert spec.parse_trap(spec.build_trap(7, b"y" * 16)) == (7, b"y" * 16)
+        assert spec.is_dummy(spec.build_dummy(b"z" * 8))
+        assert spec.is_trap(spec.build_trap(0, b"0" * 16))
+        assert not spec.is_inner(spec.build_trap(0, b"0" * 16))
+        scheme = AtomElGamal(group)
+        kp = scheme.keygen()
+        inner = cca2_encrypt(group, kp.public, b"deep")
+        assert spec.parse_inner(group, spec.build_inner(group, inner)) == inner
+
+    def test_sized_spec_pads_to_its_size(self):
+        spec = fmt.PayloadSpec.sized(40)
+        assert len(spec.pad(b"abc")) == 40
+        assert spec.unpad(spec.pad(b"abc")) == b"abc"
+        assert spec.elements_per_message == 0
+
+    def test_pad_overflow_raises(self):
+        spec = fmt.PayloadSpec.sized(8)
+        with pytest.raises(fmt.MessageFormatError):
+            spec.pad(b"much too long for eight bytes")

@@ -373,7 +373,10 @@ class TestWireErrors:
         with pytest.raises(WireFormatError, match="trailing"):
             Envelope.from_bytes(bytes(raw), toy_group)
 
-    def test_invalid_element_rejected(self):
+    def test_invalid_element_rejected_lazily(self):
+        """MIX_BATCH decode is a structural scan; element validation
+        runs on first ``.vectors`` access (bounded-memory data plane),
+        and still surfaces as WireFormatError."""
         group = get_group("P256")
         el = group.g_pow(3)
         env = wrap(
@@ -388,7 +391,36 @@ class TestWireErrors:
         # vector count (4) + part count (4) is R's SEC1 prefix byte;
         # 0xFF is never a valid compressed-point prefix.
         raw[40] = 0xFF
-        with pytest.raises(WireFormatError):
+        decoded = Envelope.from_bytes(bytes(raw), group)
+        with pytest.raises(WireFormatError, match="invalid element"):
+            decoded.payload.vectors
+
+    def test_invalid_element_rejected_eagerly_elsewhere(self):
+        """Non-batch payloads still validate elements at decode time."""
+        group = get_group("P256")
+        el = group.g_pow(3)
+        env = wrap(
+            ev.Mix(layer=0, successors=(0,), next_keys=(el,),
+                   seed=None, use_pool=False),
+            0, ev.COORDINATOR, 0,
+        )
+        raw = bytearray(env.to_bytes(group))
+        # next_keys[0]'s SEC1 prefix byte: header 28 + layer 4 +
+        # successor count 4 + successor 4 + key count 4 + present flag 1
+        raw[49] = 0xFF
+        with pytest.raises(WireFormatError, match="element"):
+            Envelope.from_bytes(bytes(raw), group)
+
+    def test_mix_batch_structural_garbage_rejected(self):
+        """Hostile counts/flags are rejected at decode, before any
+        element math or allocation."""
+        group = get_group("P256")
+        env = wrap(ev.MixBatch(layer=0, vectors=()), 0, 0, 1)
+        raw = bytearray(env.to_bytes(group))
+        import struct as _struct
+
+        raw[32:36] = _struct.pack(">I", 0xFFFFFFFF)  # absurd record count
+        with pytest.raises(WireFormatError, match="malformed MIX_BATCH"):
             Envelope.from_bytes(bytes(raw), group)
 
     def test_unknown_kind_rejected(self, toy_group):

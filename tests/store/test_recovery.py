@@ -83,6 +83,31 @@ def test_resume_is_byte_identical_after_every_layer_commit(
     assert _canonical(group, resumed) == _canonical(group, baseline)
 
 
+@pytest.mark.parametrize("stop_after", [1, ITERATIONS])
+def test_resume_spilled_round_is_byte_identical(tmp_path, stop_after):
+    """Spill-restore equivalence: a round whose intake spilled to disk
+    crashes mid-mix and resumes byte-identical to an unspilled,
+    uncrashed baseline.  Spill segments are scratch — recovery replays
+    intake from the deployment WAL's ENVELOPE records, so losing every
+    .spill file with the 'process' is the expected case, not an edge."""
+    group = get_group("TOY")
+    baseline = _drive_round(_config())
+    _drive_round(
+        _config(tmp_path, spill_threshold=3), stop_after_layers=stop_after
+    )
+    # A real kill -9 leaves torn spill segments behind; plant one and
+    # require recovery to ignore it (it must only read the round WAL).
+    spill_dir = tmp_path / "spill"
+    spill_dir.mkdir(exist_ok=True)
+    (spill_dir / "r0-g0-99.spill").write_bytes(b"torn garbage, not a WAL")
+
+    manager = RecoveryManager(tmp_path)
+    assert manager.needs_recovery()
+    resumed = manager.complete_round()
+    assert resumed.ok
+    assert _canonical(group, resumed) == _canonical(group, baseline)
+
+
 @pytest.mark.parametrize("variant", ["basic", "nizk"])
 def test_resume_other_variants(tmp_path, variant):
     group = get_group("TOY")

@@ -1,0 +1,121 @@
+"""SpillableHoldings: bounded-memory intake container semantics."""
+
+import gc
+
+import pytest
+
+from repro.core.batch import CiphertextBatch
+from repro.crypto.elgamal import AtomElGamal
+from repro.crypto.groups import DeterministicRng, get_group
+from repro.crypto.vector import encrypt_vector
+from repro.store.spill import SpillableHoldings
+from repro.store.wal import RecordType, WriteAheadLog
+
+
+@pytest.fixture()
+def group():
+    return get_group("TOY")
+
+
+def _vectors(group, n, seed=b"spill"):
+    scheme = AtomElGamal(group)
+    rng = DeterministicRng(seed)
+    key = scheme.keygen(rng).public
+    return [
+        encrypt_vector(scheme, key, b"payload-%02d" % i, rng)[0]
+        for i in range(n)
+    ]
+
+
+class TestSpilling:
+    def test_no_spill_below_threshold(self, group, tmp_path):
+        holdings = SpillableHoldings(group, 10, tmp_path)
+        for vec in _vectors(group, 9):
+            holdings.append(vec)
+        assert len(holdings) == 9
+        assert holdings.spilled == 0
+        assert holdings.path is None  # no file was ever created
+
+    def test_spills_every_threshold(self, group, tmp_path):
+        holdings = SpillableHoldings(group, 4, tmp_path)
+        for vec in _vectors(group, 11):
+            holdings.append(vec)
+        assert len(holdings) == 11
+        assert holdings.spilled == 8
+        assert holdings.segments == 2
+        assert holdings.path.exists()
+
+    def test_iteration_preserves_append_order(self, group, tmp_path):
+        vectors = _vectors(group, 10)
+        holdings = SpillableHoldings(group, 3, tmp_path)
+        for vec in vectors:
+            holdings.append(vec)
+        assert list(holdings) == vectors
+        assert holdings == vectors  # __eq__ vs list
+
+    def test_as_batch_equals_memory_batch(self, group, tmp_path):
+        vectors = _vectors(group, 7)
+        holdings = SpillableHoldings(group, 2, tmp_path)
+        holdings.extend(vectors)
+        assert holdings.as_batch() == CiphertextBatch.from_vectors(group, vectors)
+
+    def test_extend_from_batch_splices(self, group, tmp_path):
+        vectors = _vectors(group, 9)
+        batch = CiphertextBatch.from_vectors(group, vectors)
+        holdings = SpillableHoldings(group, 4, tmp_path)
+        holdings.extend(batch)
+        assert holdings.spilled == 8
+        assert holdings == batch
+
+    def test_extend_from_spillable(self, group, tmp_path):
+        vectors = _vectors(group, 6)
+        src = SpillableHoldings(group, 2, tmp_path, tag="src")
+        src.extend(vectors)
+        dst = SpillableHoldings(group, 3, tmp_path, tag="dst")
+        dst.extend(src)
+        assert dst == vectors
+
+    def test_segments_survive_a_reread(self, group, tmp_path):
+        """The scratch log is a real WAL: segments read back intact and
+        typed SPILL_SEGMENT."""
+        holdings = SpillableHoldings(group, 2, tmp_path)
+        holdings.extend(_vectors(group, 6))
+        records = list(WriteAheadLog.iter_records(holdings.path))
+        assert [r.type for r in records] == [RecordType.SPILL_SEGMENT] * 3
+        total = sum(
+            len(CiphertextBatch.from_bytes(group, r.payload)) for r in records
+        )
+        assert total == 6
+
+
+class TestLifecycle:
+    def test_release_unlinks_scratch_file(self, group, tmp_path):
+        holdings = SpillableHoldings(group, 2, tmp_path)
+        holdings.extend(_vectors(group, 5))
+        path = holdings.path
+        assert path.exists()
+        holdings.release()
+        assert not path.exists()
+        assert len(holdings) == 0
+        holdings.release()  # idempotent
+
+    def test_gc_unlinks_scratch_file(self, group, tmp_path):
+        holdings = SpillableHoldings(group, 2, tmp_path)
+        holdings.extend(_vectors(group, 5))
+        path = holdings.path
+        del holdings
+        gc.collect()
+        assert not path.exists()
+
+    def test_recreated_containers_get_fresh_files(self, group, tmp_path):
+        """Per-layer container recreation must never reuse a path — a
+        late finalizer would otherwise unlink the successor's live
+        file."""
+        first = SpillableHoldings(group, 2, tmp_path, tag="g0")
+        first.extend(_vectors(group, 4))
+        second = SpillableHoldings(group, 2, tmp_path, tag="g0")
+        second.extend(_vectors(group, 4, seed=b"other"))
+        assert first.path != second.path
+        first.release()
+        assert second.path.exists()
+        assert len(second) == 4
