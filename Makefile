@@ -7,7 +7,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test bench-smoke parity stream-smoke net-smoke net-strict persist-smoke chaos-smoke fleet-smoke clean
+.PHONY: test-fast test bench-smoke parity stream-smoke net-smoke net-strict persist-smoke chaos-smoke fleet-smoke scenario-smoke clean
 
 ## Fast suite: everything but the slow-marked benchmarks/sweeps (~35 s).
 test-fast:
@@ -62,6 +62,14 @@ chaos-smoke:
 ## byte-identical to the in-process baseline.
 fleet-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/fleet_smoke.py
+
+## Scenario engine end to end: the bundled spike + tamper + churn
+## workload (mixed microblog/dialing traffic) over TCP — the tamper is
+## caught by the traps, the blame-rekey retry heals delivery, churned
+## users are reabsorbed, and the report's conservation assert runs.
+scenario-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli scenario run \
+		black-friday-tamper-churn --seed atom-rpc --transport tcp
 
 ## tests/net and tests/fleet with RuntimeWarnings promoted to errors:
 ## a leaked never-awaited coroutine in transport shutdown fails here.

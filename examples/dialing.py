@@ -1,55 +1,55 @@
 #!/usr/bin/env python3
-"""The dialing application (paper §5): Alice establishes a shared
-secret with Bob through Atom, with differential-privacy dummy traffic
-hiding how many calls each mailbox receives.
+"""The dialing application (paper §5), driven by the scenario engine:
+a declarative all-dialing workload routes calls through Atom; each
+recipient downloads their mailbox and opens the calls addressed to
+their long-term key (derived, like everything else, from the scenario
+seed).
 
 Run:  python examples/dialing.py
 """
 
-from repro.apps.dialing import DialingService
-from repro.core import DeploymentConfig
-from repro.crypto.elgamal import ElGamalKeyPair
+from repro.scenarios import ScenarioRunner, ScenarioSpec
 
 
 def main() -> None:
-    config = DeploymentConfig(
-        num_servers=8,
-        num_groups=2,
-        group_size=3,
-        variant="trap",
-        iterations=3,
-        message_size=96,
-        crypto_group="TEST",
+    spec = ScenarioSpec.parse(
+        {
+            "name": "example-dialing",
+            "rounds": 2,
+            "seed": "example",
+            "traffic": {
+                "model": "constant",
+                "users": 6,
+                "rate": 4.0,
+                "dialing_share": 1.0,  # every arrival is a call
+            },
+            "deployment": {
+                "groups": 2,
+                "group_size": 3,
+                "variant": "trap",
+                "iterations": 3,
+                "message_size": 96,
+                "group": "TEST",
+            },
+            "dialing": {"mailboxes": 4},
+        }
     )
-    service = DialingService(
-        config=config, num_mailboxes=4, dummy_mu=2.0, dummy_scale=1.0
-    )
-    group = service.group
+    runner = ScenarioRunner(spec)
+    metrics = runner.run()
+    print("dialing scenario:", "ok" if metrics.ok else "ABORTED")
+    print(f"  {metrics.total_arrivals} calls offered, "
+          f"{metrics.total_delivered} delivered")
 
-    # Long-term identity keys (exchanged out of band, e.g. a PKI).
-    bob = ElGamalKeyPair.generate(group)
-    carol = ElGamalKeyPair.generate(group)
-
-    # Alice and Dave dial.
-    requests = [
-        service.make_request(b"alice-ephemeral-key", recipient_id=1, recipient_key=bob),
-        service.make_request(b"dave-ephemeral-key", recipient_id=2, recipient_key=carol),
-        service.make_request(b"erin-ephemeral-key", recipient_id=1, recipient_key=bob),
-        service.make_request(b"frank-ephemeral-key", recipient_id=2, recipient_key=carol),
-    ]
-
-    result = service.run_round(0, requests)
-    print("dialing round:", "ok" if result.ok else f"aborted ({result.abort_reason})")
-
-    for name, rid, key in (("bob", 1, bob), ("carol", 2, carol)):
-        downloaded = service.download(0, rid)
-        opened = service.receive(0, rid, key)
-        print(f"\n{name}: mailbox {rid} holds {len(downloaded)} entries "
-              f"(real calls + DP dummies)")
-        for sender_key in opened:
-            print(f"  opened call from: {sender_key.decode()}")
-        print(f"  -> {name} can now derive shared secrets with "
-              f"{len(opened)} caller(s)")
+    for round_id in range(spec.rounds):
+        print(f"\nround {round_id} mailboxes:")
+        for user in range(spec.traffic.users):
+            opened = runner.receive(round_id, user)
+            if not opened:
+                continue
+            callers = ", ".join(token.decode() for token in opened)
+            print(f"  user {user} was dialed by: {callers}")
+            print(f"    -> can now derive a shared secret with "
+                  f"{len(opened)} caller(s)")
 
 
 if __name__ == "__main__":

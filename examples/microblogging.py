@@ -1,57 +1,55 @@
 #!/usr/bin/env python3
-"""Anonymous microblogging (paper §5): protest organizers post to a
-public bulletin board; an actively malicious server tries to tamper and
-is caught by the trap mechanism about half the time per attempt.
+"""Anonymous microblogging (paper §5), driven by the scenario engine:
+a steady declarative workload posts to the public bulletin board, then
+a "Black Friday" spike scenario shows an actively malicious server
+being caught by the traps mid-surge — the round retries and every post
+still comes out.
 
 Run:  python examples/microblogging.py
 """
 
-from repro.apps.microblog import MicroblogService
-from repro.core import DeploymentConfig
-from repro.core.server import Behavior
+from repro.scenarios import ScenarioRunner, ScenarioSpec, load_scenario
 
 
 def main() -> None:
-    config = DeploymentConfig(
-        num_servers=8,
-        num_groups=2,
-        group_size=3,
-        variant="trap",
-        iterations=3,
-        message_size=40,
-        crypto_group="TEST",
+    # --- a steady honest workload, declared not hand-rolled -------------
+    spec = ScenarioSpec.parse(
+        {
+            "name": "example-steady",
+            "rounds": 3,
+            "seed": "example",
+            "traffic": {"model": "constant", "users": 6, "rate": 4.0},
+            "deployment": {
+                "groups": 2,
+                "group_size": 3,
+                "variant": "trap",
+                "iterations": 3,
+                "message_size": 40,
+                "group": "TEST",
+            },
+        }
     )
+    runner = ScenarioRunner(spec)
+    metrics = runner.run()  # conservation-checked
+    print("steady scenario:", "ok" if metrics.ok else "ABORTED")
+    for round_id in range(spec.rounds):
+        for post in runner.board.read(round_id):
+            print(f"  board r{round_id}:", post.decode())
 
-    # --- round 0: honest servers ---------------------------------------
-    service = MicroblogService(config=config)
-    posts = [
-        b"meet at the square, 6pm",
-        b"bring cameras",
-        b"avoid the north gate",
-        b"stay safe everyone",
-    ]
-    result = service.run_round(0, posts)
-    print("round 0 (honest):", "ok" if result.ok else "aborted")
-    for post in service.board.read(0):
-        print("  board:", post.decode())
-
-    # --- rounds 1..n: one server tampers --------------------------------
-    print("\nmalicious server replacing one ciphertext per round (§4.4):")
-    detected = 0
-    trials = 6
-    for trial in range(1, trials + 1):
-        service = MicroblogService(config=config)
-        rnd = service.deployment.start_round(trial)
-        rnd.contexts[0].servers[0].behavior = Behavior.REPLACE_ONE
-        for index, post in enumerate(posts):
-            service.deployment.submit_trap(rnd, post, index % 2)
-        result = service.deployment.run_round(rnd)
-        status = "DETECTED (round aborted, nothing revealed)" if result.aborted else \
-            "evaded traps (anonymity set shrank by exactly one)"
-        print(f"  round {trial}: {status}")
-        detected += result.aborted
-    print(f"\ndetected {detected}/{trials} tampering attempts "
-          f"(expected ~50% per attempt; k attempts succeed w.p. 2^-k)")
+    # --- the bundled tamper scenario ------------------------------------
+    print("\nblack-friday-tamper-churn (bundled): a server tampers during "
+          "the spike round")
+    bf = ScenarioRunner(load_scenario("black-friday-tamper-churn"))
+    report = bf.run()
+    print(report.format_table())
+    caught = report.total_trap_catches
+    healed = report.total_delivered == report.total_arrivals
+    print(f"\ntamper attempts caught by traps: {caught} "
+          f"(~50% per attempt; the round then blames, rekeys, retries)")
+    print(f"healed delivery: {healed} — every arrival still reached the "
+          f"board or a mailbox")
+    print(f"churn: {report.total_churned} users left mid-scenario, "
+          f"{report.total_rejoined} were reabsorbed")
 
 
 if __name__ == "__main__":

@@ -84,6 +84,23 @@ def open_dial(group: Group, recipient_key: "ElGamalKeyPair", sealed: bytes) -> b
     return aead_decrypt(key, AeadCiphertext.from_bytes(sealed[width:]))
 
 
+def fill_mailboxes(messages: Sequence[bytes], num_mailboxes: int) -> List[Mailbox]:
+    """Exit-side mailbox placement: each anonymized output that parses
+    as a :class:`DialRequest` lands in mailbox ``recipient_id mod m``.
+
+    Shared by :meth:`DialingService.run_round` and the scenario
+    runner, which delivers a mixed stream's dialing share through the
+    same code path."""
+    boxes = [Mailbox(i) for i in range(num_mailboxes)]
+    for message in messages:
+        try:
+            request = DialRequest.from_bytes(message)
+        except ValueError:
+            continue
+        boxes[request.recipient_id % num_mailboxes].entries.append(request.sealed)
+    return boxes
+
+
 def laplace_noise_count(mu: float, scale: float, rng: DeterministicRng) -> int:
     """Non-negative dummy count ~ max(0, round(Laplace(mu, scale))).
 
@@ -166,16 +183,9 @@ class DialingService:
                 self.deployment.submit_plain(rnd, payload, gid)
         result = self.deployment.run_round(rnd)
         if result.ok:
-            boxes = [Mailbox(i) for i in range(self.num_mailboxes)]
-            for message in result.messages:
-                try:
-                    request = DialRequest.from_bytes(message)
-                except ValueError:
-                    continue
-                boxes[request.recipient_id % self.num_mailboxes].entries.append(
-                    request.sealed
-                )
-            self.mailboxes[round_id] = boxes
+            self.mailboxes[round_id] = fill_mailboxes(
+                result.messages, self.num_mailboxes
+            )
         return result
 
     # -- recipient side -------------------------------------------------------------

@@ -17,6 +17,16 @@ from repro.core.protocol import RoundResult
 TWEET_BYTES = 160
 
 
+def check_post(post: bytes, limit: int) -> bytes:
+    """Client-side size validation shared by the service and the
+    scenario runner's workload builder."""
+    if len(post) > limit:
+        raise ValueError(
+            f"post of {len(post)} bytes exceeds the {limit}-byte limit"
+        )
+    return post
+
+
 @dataclass
 class BulletinBoard:
     """Public append-only board of anonymized posts, by round."""
@@ -53,11 +63,7 @@ class MicroblogService:
         paper's untrusted load balancer); counts must divide evenly.
         """
         for post in posts:
-            if len(post) > self.deployment.config.message_size:
-                raise ValueError(
-                    f"post of {len(post)} bytes exceeds the "
-                    f"{self.deployment.config.message_size}-byte limit"
-                )
+            check_post(post, self.deployment.config.message_size)
         rnd = self.deployment.start_round(round_id)
         groups = self.deployment.config.num_groups
         for index, post in enumerate(posts):

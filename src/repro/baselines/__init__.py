@@ -18,6 +18,26 @@ from repro.baselines.riposte import RiposteServerPair, riposte_latency_minutes
 from repro.baselines.vuvuzela import VuvuzelaChain, vuvuzela_dial_latency_minutes
 from repro.baselines.alpenhorn import alpenhorn_dial_latency_minutes
 
+
+def same_workload_comparison(
+    microblog_messages: int, dialing_users: int
+) -> dict:
+    """Table 12 cost models evaluated at a *measured* workload.
+
+    The paper's Table 12 compares systems at fixed round sizes; the
+    scenario engine instead generates a workload and asks what each
+    baseline would charge for exactly it: Riposte priced per microblog
+    message actually offered, Vuvuzela/Alpenhorn per dialing user in
+    the population.  ``benchmarks/test_table12_comparison.py`` records
+    the result next to Atom's simulated latency for the same workload.
+    """
+    return {
+        "riposte_minutes": riposte_latency_minutes(microblog_messages),
+        "vuvuzela_minutes": vuvuzela_dial_latency_minutes(dialing_users),
+        "alpenhorn_minutes": alpenhorn_dial_latency_minutes(dialing_users),
+    }
+
+
 __all__ = [
     "NaiveDpf",
     "SqrtDpf",
@@ -26,4 +46,5 @@ __all__ = [
     "VuvuzelaChain",
     "vuvuzela_dial_latency_minutes",
     "alpenhorn_dial_latency_minutes",
+    "same_workload_comparison",
 ]

@@ -230,6 +230,59 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Run, describe, or list declarative workload scenarios."""
+    from repro.scenarios import (
+        ConservationError,
+        ScenarioError,
+        ScenarioRunner,
+        list_bundled,
+        load_scenario,
+    )
+
+    if args.action == "list":
+        for name in list_bundled():
+            spec = load_scenario(name)
+            print(f"{name:26s}  {spec.rounds} rounds, "
+                  f"{spec.traffic.kind} traffic, "
+                  f"{spec.traffic.users} users")
+            print(f"{'':26s}  {spec.description}")
+        return 0
+    if not args.scenario:
+        print("error: scenario name or file required", file=sys.stderr)
+        return 2
+    try:
+        spec = load_scenario(args.scenario)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "describe":
+        print(spec.to_json(), end="")
+        return 0
+    overrides = {
+        key: getattr(args, key)
+        for key in ("transport", "state_dir", "group", "data_plane",
+                    "spill_threshold")
+        if getattr(args, key) is not None
+    }
+    try:
+        runner = ScenarioRunner(spec, seed=args.seed, **overrides)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        metrics = runner.run()
+    except ConservationError as exc:
+        print(f"error: conservation violated: {exc}", file=sys.stderr)
+        return 1
+    print(metrics.format_table())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(metrics.to_json())
+        print(f"report written to {args.json_out}")
+    return 0 if metrics.ok else 1
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run the calibrated performance simulator."""
     from repro.sim import AtomSimulator, SimConfig
@@ -503,6 +556,52 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: <plan dir>/fleet-run)",
     )
     p_fleet.set_defaults(func=cmd_fleet)
+
+    p_scn = sub.add_parser(
+        "scenario",
+        help="declarative workload scenarios driving the real apps "
+        "(traffic model x faults x chaos x deployment, one file)",
+    )
+    p_scn.add_argument(
+        "action",
+        choices=["run", "describe", "list"],
+        help="run: execute and report; describe: print the canonical "
+        "spec; list: show the bundled scenarios",
+    )
+    p_scn.add_argument(
+        "scenario",
+        nargs="?",
+        help="bundled scenario name (see `repro scenario list`) or a "
+        "scenario file path",
+    )
+    p_scn.add_argument(
+        "--seed", default=None,
+        help="override the spec's rng seed (the whole run — traffic, "
+        "keys, mixing, chaos — is a function of it)",
+    )
+    p_scn.add_argument(
+        "--transport", choices=list(TRANSPORTS) + ["fleet"], default=None,
+        help="override the spec's transport",
+    )
+    p_scn.add_argument(
+        "--group", "--crypto-group", dest="group", type=str.upper,
+        choices=available_groups(), default=None,
+        help="override the spec's group backend",
+    )
+    p_scn.add_argument("--state-dir", default=None, help=_STATE_DIR_HELP)
+    p_scn.add_argument(
+        "--data-plane", choices=sorted(DATA_PLANES), default=None,
+        help="override the spec's data plane",
+    )
+    p_scn.add_argument(
+        "--spill-threshold", type=int, default=None, metavar="N",
+        help="override the spec's spill threshold",
+    )
+    p_scn.add_argument(
+        "--json", dest="json_out", default=None, metavar="PATH",
+        help="also write the machine-readable ScenarioMetrics report",
+    )
+    p_scn.set_defaults(func=cmd_scenario)
 
     p_sim = sub.add_parser("simulate", help="run the performance simulator")
     p_sim.add_argument("--servers", type=int, default=1024)

@@ -215,6 +215,15 @@ class RoundStats:
     recovered_gids: List[int] = field(default_factory=list)
     blamed_users: Tuple[int, ...] = ()
     rekeyed: bool = False
+    #: honest per-sender submissions this round (one per arrival, NOT
+    #: per ciphertext: the trap variant holds 2 ciphertexts per sender
+    #: and the batch plane stores them as one contiguous buffer, so
+    #: ``len(holdings)`` alone cannot recover the sender count) — the
+    #: scenario layer's conservation checks read this
+    submitted: int = 0
+    #: cover dummies padded in by ``pad_round`` for the delivered
+    #: attempt (discarded at exit, so never part of ``messages``)
+    dummies: int = 0
     #: accumulated intake work (submission build + NIZK verification)
     intake_s: float = 0.0
     #: of which, executed while the *previous* round was mixing
@@ -305,6 +314,7 @@ class StreamEngine:
         schedule: Optional[FaultSchedule] = None,
         stream: Optional[StreamConfig] = None,
         message_fn: Optional[Callable[[int, int], bytes]] = None,
+        arrivals_fn: Optional[Callable[[int], List[Tuple[bytes, int]]]] = None,
     ):
         self.schedule = schedule or FaultSchedule()
         self.stream = stream or StreamConfig()
@@ -315,6 +325,13 @@ class StreamEngine:
         self._validate_schedule(config)
         self.deployment = AtomDeployment(config)
         self.message_fn = message_fn
+        #: round_id -> [(message, entry_gid), ...]: a per-round workload
+        #: source (the scenario engine's traffic models plug in here);
+        #: when set it replaces the fixed ``users_per_round`` schedule.
+        #: MUST be deterministic per round_id — a blame-rekey re-plans
+        #: the pipelined next round from scratch, and the replayed
+        #: arrivals must match the discarded ones.
+        self.arrivals_fn = arrivals_fn
         self.rng = DeterministicRng(self.stream.seed)
         self.client = Client(self.deployment.group, self.rng)
         self.buddies = BuddySystem(self.deployment.group)
@@ -432,9 +449,13 @@ class StreamEngine:
         attacks, then dummy padding (which must come last)."""
         cfg = self.deployment.config
         plan: List[Tuple[str, object, int]] = []
-        for i in range(self.stream.users_per_round):
-            message = self._message(round_id, i)
-            plan.append(("honest", message, i % cfg.num_groups))
+        if self.arrivals_fn is not None:
+            for message, gid in self.arrivals_fn(round_id):
+                plan.append(("honest", message, gid))
+        else:
+            for i in range(self.stream.users_per_round):
+                message = self._message(round_id, i)
+                plan.append(("honest", message, i % cfg.num_groups))
         for ev in self.schedule.user_events(round_id):
             plan.append(("attack", ev.attack, ev.target))
         plan.append(("pad", None, 0))
@@ -460,6 +481,7 @@ class StreamEngine:
             else:
                 dep.submit_plain(rnd, message, gid, self.client)
             self._honest.setdefault(rnd.round_id, []).append((message, gid))
+            stats.submitted += 1
             # Journaled store-side too: an abort retry after a resume
             # needs the honest (message, gid) registry, which the
             # encrypted intake envelopes alone cannot yield.
@@ -468,7 +490,7 @@ class StreamEngine:
             uids = self._inject_user_attack(rnd, payload, gid)
             self._malicious_uids.setdefault(rnd.round_id, []).extend(uids)
         else:  # pad
-            dep.pad_round(rnd, self.rng)
+            stats.dummies += dep.pad_round(rnd, self.rng)
         elapsed = time.monotonic() - started
         stats.intake_s += elapsed
         return elapsed
@@ -806,6 +828,8 @@ class StreamEngine:
                 self._malicious_uids.pop(next_id, None)
                 next_stats.overlap_s = 0.0
                 next_stats.intake_s = 0.0
+                next_stats.submitted = 0
+                next_stats.dummies = 0
                 next_plan.clear()  # queued for the discarded epoch
                 self._drain_intake(next_rnd, next_stats, self._plan_intake(next_id))
         else:
@@ -823,7 +847,10 @@ class StreamEngine:
                 self.deployment.submit_trap(retry_rnd, message, gid, self.client)
             else:
                 self.deployment.submit_plain(retry_rnd, message, gid, self.client)
-        self.deployment.pad_round(retry_rnd, self.rng)
+        # The retry replays the same senders (submitted is unchanged)
+        # but pads a fresh round: its dummy count replaces the aborted
+        # attempt's, which left the pipeline with that round.
+        stats.dummies = self.deployment.pad_round(retry_rnd, self.rng)
         stats.intake_s += time.monotonic() - replay_started
 
         # The adversary is exposed (abort named its group, or blame its

@@ -1,0 +1,37 @@
+"""Named scenarios shipped with the package (``repro scenario list``).
+
+Each bundled scenario is a plain scenario file under ``data/`` — the
+exact format ``repro scenario run <path>`` accepts — so copying one out
+is the supported way to start a custom scenario.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.scenarios.spec import ScenarioError, ScenarioSpec
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+
+def list_bundled() -> List[str]:
+    """Names of the shipped scenarios."""
+    return sorted(p.stem for p in DATA_DIR.glob("*.json"))
+
+
+def bundled_path(name: str) -> Path:
+    path = DATA_DIR / f"{name}.json"
+    if not path.is_file():
+        raise ScenarioError(
+            f"no bundled scenario {name!r} (have: {', '.join(list_bundled())})"
+        )
+    return path
+
+
+def load_scenario(name_or_path) -> ScenarioSpec:
+    """Resolve a CLI argument: a bundled name, else a file path."""
+    as_path = Path(name_or_path)
+    if as_path.suffix == ".json" or as_path.is_file():
+        return ScenarioSpec.load(as_path)
+    return ScenarioSpec.load(bundled_path(str(name_or_path)))

@@ -1,0 +1,226 @@
+"""Per-round and whole-scenario accounting.
+
+The scenario engine's contract is *conservation*: every arrival the
+traffic model emitted is accounted for as delivered, dropped, or
+trapped — nothing vanishes into the pipeline.  :class:`RoundMetrics`
+carries that ledger per round (plus the churn and robustness events
+that explain it), :class:`ScenarioMetrics` aggregates it, and
+:meth:`ScenarioMetrics.digest` hashes exactly the deterministic fields
+so a rerun with the same spec and seed is byte-identical — the e2e
+suite asserts digest equality across transports and reruns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class ConservationError(AssertionError):
+    """A round's arrivals did not reconcile with its outcomes."""
+
+
+@dataclass
+class RoundMetrics:
+    """The ledger of one scenario round."""
+
+    round_id: int
+    #: offered load (the traffic model's arrivals this round)
+    arrivals: int = 0
+    microblog: int = 0
+    dialing: int = 0
+    #: arrivals whose exact payload came out of the anonymity network
+    delivered: int = 0
+    #: arrivals lost to a non-trap failure (unhealed abort, missing output)
+    dropped: int = 0
+    #: arrivals consumed by a trap-catch abort that was not healed
+    trapped: int = 0
+    #: users who churned out / were reabsorbed this round
+    departed: Tuple[int, ...] = ()
+    rejoined: Tuple[int, ...] = ()
+    active: int = 0
+    #: per-sender submissions the engine recorded (batch-plane aware)
+    submitted: int = 0
+    #: cover dummies padded into the delivered attempt
+    dummies: int = 0
+    #: trap-catch aborts observed (a healed catch still counts: the
+    #: round retried and delivered)
+    trap_catches: int = 0
+    recovered_gids: Tuple[int, ...] = ()
+    blamed_users: Tuple[int, ...] = ()
+    retries: int = 0
+    ok: bool = False
+    #: wall clock (excluded from the digest)
+    intake_s: float = 0.0
+    mix_s: float = 0.0
+    #: sha256 over the round's sorted delivered payloads
+    delivered_digest: str = ""
+
+    def check_conservation(self) -> None:
+        if self.arrivals != self.delivered + self.dropped + self.trapped:
+            raise ConservationError(
+                f"round {self.round_id}: {self.arrivals} arrivals != "
+                f"{self.delivered} delivered + {self.dropped} dropped "
+                f"+ {self.trapped} trapped"
+            )
+        if self.submitted != self.arrivals:
+            raise ConservationError(
+                f"round {self.round_id}: engine submitted {self.submitted} "
+                f"senders for {self.arrivals} arrivals"
+            )
+
+    def deterministic_fields(self) -> Dict[str, object]:
+        """Everything except wall clock — the digest's input."""
+        return {
+            "round_id": self.round_id,
+            "arrivals": self.arrivals,
+            "microblog": self.microblog,
+            "dialing": self.dialing,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "trapped": self.trapped,
+            "departed": list(self.departed),
+            "rejoined": list(self.rejoined),
+            "active": self.active,
+            "submitted": self.submitted,
+            "dummies": self.dummies,
+            "trap_catches": self.trap_catches,
+            "recovered_gids": list(self.recovered_gids),
+            "blamed_users": list(self.blamed_users),
+            "retries": self.retries,
+            "ok": self.ok,
+            "delivered_digest": self.delivered_digest,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        out = self.deterministic_fields()
+        out["intake_s"] = self.intake_s
+        out["mix_s"] = self.mix_s
+        return out
+
+
+@dataclass
+class ScenarioMetrics:
+    """The whole run's machine-readable report."""
+
+    scenario: str
+    seed: str
+    transport: str
+    rounds: List[RoundMetrics] = field(default_factory=list)
+    wall_s: float = 0.0
+    #: same-workload baseline latencies (repro.baselines hook)
+    baselines: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.rounds)
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(r.arrivals for r in self.rounds)
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(r.delivered for r in self.rounds)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(r.dropped for r in self.rounds)
+
+    @property
+    def total_trapped(self) -> int:
+        return sum(r.trapped for r in self.rounds)
+
+    @property
+    def total_trap_catches(self) -> int:
+        return sum(r.trap_catches for r in self.rounds)
+
+    @property
+    def total_churned(self) -> int:
+        return sum(len(r.departed) for r in self.rounds)
+
+    @property
+    def total_rejoined(self) -> int:
+        return sum(len(r.rejoined) for r in self.rounds)
+
+    def check_conservation(self) -> None:
+        """Raise :class:`ConservationError` unless every round's ledger
+        balances (arrivals == delivered + dropped + trapped)."""
+        for r in self.rounds:
+            r.check_conservation()
+
+    @property
+    def digest(self) -> str:
+        """sha256 over the deterministic fields only: equal digests mean
+        byte-identical workload *and* outcomes, wall clock aside."""
+        blob = json.dumps(
+            {
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "rounds": [r.deterministic_fields() for r in self.rounds],
+            },
+            sort_keys=True,
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "transport": self.transport,
+            "ok": self.ok,
+            "digest": self.digest,
+            "totals": {
+                "arrivals": self.total_arrivals,
+                "delivered": self.total_delivered,
+                "dropped": self.total_dropped,
+                "trapped": self.total_trapped,
+                "trap_catches": self.total_trap_catches,
+                "churned": self.total_churned,
+                "rejoined": self.total_rejoined,
+            },
+            "wall_s": self.wall_s,
+            "baselines": dict(self.baselines),
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    def format_table(self) -> str:
+        """Human-readable per-round report for the CLI."""
+        lines = [
+            "round  arriv  blog  dial  deliv  drop  trap  churn  back"
+            "  active  dum  catches  events"
+        ]
+        for r in self.rounds:
+            events = []
+            if r.recovered_gids:
+                events.append(
+                    "recovered=" + ",".join(f"g{g}" for g in r.recovered_gids)
+                )
+            if r.blamed_users:
+                events.append("blamed=" + ",".join(map(str, r.blamed_users)))
+            if r.retries:
+                events.append(f"retries={r.retries}")
+            if not r.ok:
+                events.append("ABORT")
+            lines.append(
+                f"{r.round_id:5d}  {r.arrivals:5d}  {r.microblog:4d}  "
+                f"{r.dialing:4d}  {r.delivered:5d}  {r.dropped:4d}  "
+                f"{r.trapped:4d}  {len(r.departed):5d}  {len(r.rejoined):4d}"
+                f"  {r.active:6d}  {r.dummies:3d}  {r.trap_catches:7d}  "
+                f"{' '.join(events) or '-'}"
+            )
+        lines.append(
+            f"scenario {self.scenario!r} ({self.transport}, seed {self.seed}): "
+            f"{self.total_arrivals} arrivals -> {self.total_delivered} "
+            f"delivered, {self.total_dropped} dropped, "
+            f"{self.total_trapped} trapped; {self.total_trap_catches} trap "
+            f"catches, {self.total_churned} churned / {self.total_rejoined} "
+            f"reabsorbed; {self.wall_s:.2f}s wall"
+        )
+        lines.append(f"digest: {self.digest}")
+        return "\n".join(lines)

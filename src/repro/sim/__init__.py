@@ -23,6 +23,9 @@ large-scale experiment:
 - :mod:`repro.sim.pipeline` — §4.7 pipelined scheduling: the analytic
   throughput model, plus :func:`reconcile_with_engine` checking it
   against the real stream engine's measured intake/mix overlap.
+- :mod:`repro.sim.scenario` — :func:`reconcile_with_traffic` replaying
+  a scenario's traffic model analytically against the measured
+  :class:`~repro.scenarios.metrics.ScenarioMetrics`.
 """
 
 from repro.sim.costmodel import PrimitiveCosts, measure_costs
@@ -35,6 +38,7 @@ from repro.sim.machines import Fleet, MachineSpec, amdahl_speedup
 from repro.sim.network import NetworkModel
 from repro.sim.mixnet import GroupMixModel, group_setup_latency
 from repro.sim.runner import AtomSimulator, SimConfig, SimResult
+from repro.sim.scenario import reconcile_with_traffic
 
 __all__ = [
     "PrimitiveCosts",
@@ -51,4 +55,5 @@ __all__ = [
     "PipelinedAtomSimulator",
     "PipelineResult",
     "reconcile_with_engine",
+    "reconcile_with_traffic",
 ]

@@ -99,6 +99,8 @@ def encode_round_stats(stats, rng) -> bytes:
             "recovered_gids": list(stats.recovered_gids),
             "blamed_users": list(stats.blamed_users),
             "rekeyed": stats.rekeyed,
+            "submitted": stats.submitted,
+            "dummies": stats.dummies,
             "intake_s": stats.intake_s,
             "overlap_s": stats.overlap_s,
             "foreign_intake_s": stats.foreign_intake_s,
@@ -122,6 +124,10 @@ def decode_round_stats(payload: bytes):
         recovered_gids=list(obj["recovered_gids"]),
         blamed_users=tuple(obj["blamed_users"]),
         rekeyed=obj["rekeyed"],
+        # absent in pre-scenario-engine logs: default to 0 so old state
+        # dirs stay resumable
+        submitted=obj.get("submitted", 0),
+        dummies=obj.get("dummies", 0),
         intake_s=obj["intake_s"],
         overlap_s=obj["overlap_s"],
         foreign_intake_s=obj["foreign_intake_s"],

@@ -1,0 +1,177 @@
+"""Property-based suite for the traffic models (hypothesis).
+
+The three invariants the scenario engine's guarantees rest on:
+seed determinism (same spec + seed -> identical batches), user-count
+conservation (active and departed sets always partition the
+population), and spec round-trip (``parse_traffic(describe())`` is the
+identity on the canonical form).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios.traffic import (
+    TRAFFIC_MODELS,
+    BurstyTraffic,
+    ConstantTraffic,
+    DiurnalTraffic,
+    TrafficError,
+    parse_traffic,
+)
+
+settings_fast = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+common = dict(
+    users=st.integers(min_value=1, max_value=24),
+    churn=st.floats(min_value=0.0, max_value=0.5),
+    rejoin=st.integers(min_value=1, max_value=4),
+    dialing_share=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@st.composite
+def traffic_models(draw):
+    kind = draw(st.sampled_from(sorted(TRAFFIC_MODELS)))
+    kwargs = {key: draw(strat) for key, strat in common.items()}
+    if kind == "constant":
+        return ConstantTraffic(rate=draw(st.floats(0, 16)), **kwargs)
+    if kind == "diurnal":
+        base = draw(st.floats(0, 6))
+        return DiurnalTraffic(
+            base=base,
+            peak=base + draw(st.floats(0, 10)),
+            period=draw(st.integers(1, 10)),
+            **kwargs,
+        )
+    return BurstyTraffic(
+        base=draw(st.floats(0, 8)),
+        spike=draw(st.floats(0, 20)),
+        spike_rounds=tuple(
+            draw(st.lists(st.integers(0, 9), min_size=1, max_size=3))
+        ),
+        **kwargs,
+    )
+
+
+seeds = st.binary(min_size=1, max_size=16)
+
+
+class TestDeterminism:
+    @given(traffic_models(), seeds)
+    @settings_fast
+    def test_same_seed_same_batches(self, model, seed):
+        spec = model.describe()
+        a = parse_traffic(spec).bind(seed)
+        b = parse_traffic(spec).bind(seed)
+        for r in range(8):
+            assert a.batch(r) == b.batch(r)
+
+    @given(traffic_models(), seeds)
+    @settings_fast
+    def test_batches_cached_identically(self, model, seed):
+        model.bind(seed)
+        first = [model.batch(r) for r in range(6)]
+        # Re-querying (as a blame-rekey replan does) returns the very
+        # same objects, in any order.
+        for r in reversed(range(6)):
+            assert model.batch(r) is first[r]
+
+    @given(traffic_models(), seeds)
+    @settings_fast
+    def test_rebind_resets_state(self, model, seed):
+        model.bind(seed)
+        first = [model.batch(r) for r in range(5)]
+        model.bind(seed)
+        assert [model.batch(r) for r in range(5)] == first
+
+
+class TestConservation:
+    @given(traffic_models(), seeds)
+    @settings_fast
+    def test_population_partition(self, model, seed):
+        """Active + departed always partition range(users)."""
+        model.bind(seed)
+        population = set(range(model.users))
+        for r in range(10):
+            model.batch(r)
+            active, away = set(model._active), set(model._away)
+            assert active | away == population
+            assert not active & away
+            assert active  # never empties
+
+    @given(traffic_models(), seeds)
+    @settings_fast
+    def test_arrivals_are_distinct_active_users(self, model, seed):
+        model.bind(seed)
+        for r in range(8):
+            batch = model.batch(r)
+            senders = [a.user for a in batch.arrivals]
+            assert len(senders) == len(set(senders))
+            assert batch.offered <= batch.active
+            assert all(0 <= u < model.users for u in senders)
+
+    @given(traffic_models(), seeds)
+    @settings_fast
+    def test_rejoin_after_exactly_rejoin_rounds(self, model, seed):
+        model.bind(seed)
+        departures = {}
+        for r in range(10):
+            batch = model.batch(r)
+            for u in batch.rejoined:
+                assert r - departures.pop(u) == model.rejoin
+            for u in batch.departed:
+                departures[u] = r
+
+
+class TestSpecRoundTrip:
+    @given(traffic_models())
+    @settings_fast
+    def test_describe_parse_identity(self, model):
+        spec = model.describe()
+        assert parse_traffic(spec).describe() == spec
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(TrafficError, match="unknown traffic model"):
+            parse_traffic({"model": "flashmob"})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(TrafficError, match="unknown .* keys"):
+            parse_traffic({"model": "constant", "rate": 4, "spike": 9})
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(TrafficError):
+            ConstantTraffic(rate=-1)
+        with pytest.raises(TrafficError):
+            DiurnalTraffic(base=5, peak=2)
+        with pytest.raises(TrafficError):
+            ConstantTraffic(users=0)
+        with pytest.raises(TrafficError):
+            ConstantTraffic(churn=1.0)
+
+
+class TestApps:
+    @given(seeds)
+    @settings_fast
+    def test_dialing_share_extremes(self, seed):
+        pure_blog = ConstantTraffic(rate=4, users=8, dialing_share=0.0).bind(seed)
+        pure_dial = ConstantTraffic(rate=4, users=8, dialing_share=1.0).bind(seed)
+        for r in range(5):
+            assert all(a.app == "microblog" for a in pure_blog.batch(r).arrivals)
+            assert all(a.app == "dialing" for a in pure_dial.batch(r).arrivals)
+
+    def test_rate_clamped_to_population(self):
+        model = ConstantTraffic(rate=100, users=5).bind(b"s")
+        for r in range(4):
+            assert model.batch(r).offered == 5
+
+    def test_expected_rate_matches_curves(self):
+        assert ConstantTraffic(rate=3).expected_rate(7) == 3.0
+        diurnal = DiurnalTraffic(base=2, peak=8, period=8)
+        assert diurnal.expected_rate(0) == pytest.approx(2.0)
+        assert diurnal.expected_rate(4) == pytest.approx(8.0)
+        bursty = BurstyTraffic(base=1, spike=9, spike_rounds=(2,))
+        assert bursty.expected_rate(2) == 9.0
+        assert bursty.expected_rate(3) == 1.0
