@@ -7,7 +7,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test-fast test bench-smoke parity stream-smoke net-smoke net-strict persist-smoke chaos-smoke fleet-smoke scenario-smoke clean
+.PHONY: test-fast test bench-smoke parity stream-smoke net-smoke net-strict persist-smoke chaos-smoke fleet-smoke scenario-smoke store-smoke clean
 
 ## Fast suite: everything but the slow-marked benchmarks/sweeps (~35 s).
 test-fast:
@@ -70,6 +70,13 @@ fleet-smoke:
 scenario-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli scenario run \
 		black-friday-tamper-churn --seed atom-rpc --transport tcp
+
+## Sharded log store end to end: a long multi-process stream with tiny
+## WAL segments — rotation + compaction keep the journal under a fixed
+## disk ceiling, one process is SIGKILLed and rebuilt via checkpoint
+## shipping, and the stream stays byte-identical to in-process.
+store-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/store_smoke.py
 
 ## tests/net and tests/fleet with RuntimeWarnings promoted to errors:
 ## a leaked never-awaited coroutine in transport shutdown fails here.

@@ -18,6 +18,7 @@ import pytest
 from conftest import print_table
 from repro.core import AtomDeployment, Client, DeploymentConfig
 from repro.crypto.groups import DeterministicRng
+from repro.store.segments import LogDir
 from repro.store.wal import WriteAheadLog
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastexp.json"
@@ -83,11 +84,13 @@ def test_wal_overhead(benchmark, tmp_path_factory):
     store_s = _best_of(store_round, 5)
     ratio = store_s / null_s
 
-    # Absolute log footprint + raw append cost of one durable round.
+    # Absolute log footprint + raw append cost of one durable round
+    # (segmented layout: size and count come from the manifest scan).
     wal_dir = tmp_path_factory.mktemp("size")
     _run_round(wal_dir)
-    wal_bytes = (wal_dir / "atom.wal").stat().st_size
-    records = len(WriteAheadLog.read(wal_dir / "atom.wal").records)
+    scan = LogDir.scan_dir(wal_dir)
+    wal_bytes = scan.disk_bytes
+    records = len(scan.records)
 
     append_dir = tmp_path_factory.mktemp("append")
     wal = WriteAheadLog(append_dir / "a.wal", fsync_every=8)

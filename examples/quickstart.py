@@ -5,9 +5,10 @@ Builds a small deployment (2 anytrust groups of 3 servers, square
 topology, trap variant — the configuration the paper evaluates), routes
 eight messages through T mixing iterations, and prints the anonymized
 output.  A second act kills a durable round after its first layer
-commit and resumes it from the write-ahead log.  A third act runs a
-round under a chaotic network (dropped and delayed RPCs) and shows the
-resilience layer keeping the output identical.
+commit and resumes it from the sharded write-ahead log — showing the
+segmented layout rotating and compacting so disk stays bounded.  A
+third act runs a round under a chaotic network (dropped and delayed
+RPCs) and shows the resilience layer keeping the output identical.
 
 Run:  python examples/quickstart.py
 """
@@ -61,21 +62,28 @@ def kill_and_resume() -> None:
     """Durability demo: die after the first layer commit, come back.
 
     With a ``state_dir``, every accepted submission and every committed
-    mixing layer lands in a write-ahead log.  We run a seeded round,
+    mixing layer lands in a write-ahead log — sharded across rotating
+    segment files (``wal-<seq>.seg`` + an atomic ``wal.manifest``), so
+    a long-lived journal stays bounded instead of growing forever.  We
+    run a seeded round with a deliberately tiny rotation threshold,
     'kill' it right after layer 1 commits (abandon the process state —
     the log keeps only what was journaled), then let
     :class:`~repro.store.recovery.RecoveryManager` rebuild the
     deployment and re-enter mixing at the committed layer.  The resumed
     output is byte-identical to what the uninterrupted round would
-    have delivered.
+    have delivered — and a safe-point compaction afterwards shrinks
+    the settled history down to O(state).
     """
+    from repro.store.compact import compact_state_dir
     from repro.store.recovery import RecoveryManager
+    from repro.store.segments import LogDir
 
     state_dir = tempfile.mkdtemp(prefix="atom-quickstart-")
     config = DeploymentConfig(
         num_servers=8, num_groups=2, group_size=3, variant="trap",
         iterations=4, message_size=24, crypto_group="TEST",
         state_dir=state_dir,
+        wal_segment_records=8,   # rotate every 8 records (default: 8 MiB)
     )
     print("\n--- kill and resume ---")
     deployment = AtomDeployment(config)
@@ -89,8 +97,11 @@ def kill_and_resume() -> None:
     run = deployment.begin_mixing(rnd, DeterministicRng(b"quickstart-mix"))
     run.run_layer()
     deployment.close()  # simulated crash: no clean-shutdown marker
+    scan = LogDir.scan_dir(state_dir)
     print(f"crashed after 1/{config.iterations} layer commits; "
           f"state dir: {state_dir}")
+    print(f"journal: {len(scan.records)} records across "
+          f"{len(scan.segments_read)} segments, {scan.disk_bytes:,} bytes")
 
     manager = RecoveryManager(state_dir)
     print(f"recovery sees: {manager.describe()}")
@@ -99,7 +110,12 @@ def kill_and_resume() -> None:
     print(f"resumed round {'SUCCEEDED' if result.ok else 'ABORTED'}; "
           f"traps checked: {result.num_traps_checked}")
     assert sorted(result.messages) == sorted(messages), "messages lost!"
-    print("all messages survived the crash — durability holds")
+
+    stats = compact_state_dir(state_dir)
+    print(f"compaction: dropped {stats.dropped}/{stats.examined} settled "
+          f"records, {stats.bytes_before:,} -> {stats.bytes_after:,} bytes")
+    print("all messages survived the crash — durability holds, "
+          "disk stays bounded")
     shutil.rmtree(state_dir)
 
 

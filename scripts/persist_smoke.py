@@ -19,7 +19,8 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.store.wal import RecordType, WriteAheadLog
+from repro.store.segments import LogDir
+from repro.store.wal import RecordType
 
 KILL_ROUND = 1  # 0-indexed: "round 2" of the 3-round stream
 POLL_S = 0.25
@@ -33,12 +34,12 @@ STREAM_ARGS = [
 ]
 
 
-def committed_rounds(wal_path: Path) -> set:
+def committed_rounds(state_dir: Path) -> set:
     """Round ids with at least one committed mixing layer on disk."""
-    if not wal_path.exists():
+    if not LogDir.present(state_dir):
         return set()
     try:
-        scan = WriteAheadLog.read(wal_path)
+        scan = LogDir.scan_dir(state_dir)
     except Exception:
         return set()
     rounds = set()
@@ -50,7 +51,6 @@ def committed_rounds(wal_path: Path) -> set:
 
 def main() -> int:
     state_dir = Path(tempfile.mkdtemp(prefix="atom-persist-smoke-"))
-    wal_path = state_dir / "atom.wal"
     args = STREAM_ARGS + ["--state-dir", str(state_dir)]
     print(f"[persist-smoke] starting: {' '.join(args[1:])}")
     proc = subprocess.Popen(args)
@@ -65,7 +65,7 @@ def main() -> int:
                     f"committed a layer — nothing to kill"
                 )
                 return 1
-            if KILL_ROUND in committed_rounds(wal_path):
+            if KILL_ROUND in committed_rounds(state_dir):
                 break
             if time.monotonic() > deadline:
                 print("[persist-smoke] FAIL: timed out waiting for commit")

@@ -37,6 +37,9 @@ def cmd_round(args: argparse.Namespace) -> int:
             net_faults=args.net_faults or None,
             rpc_timeout=args.rpc_timeout,
             heartbeat=args.heartbeat,
+            wal_segment_bytes=args.wal_segment_bytes,
+            wal_segment_records=args.wal_segment_records,
+            wal_retain_segments=args.wal_retain_segments,
         )
     except (NetFaultPlanError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -116,6 +119,9 @@ def cmd_run_stream(args: argparse.Namespace) -> int:
             net_faults=args.net_faults or None,
             rpc_timeout=args.rpc_timeout,
             heartbeat=args.heartbeat,
+            wal_segment_bytes=args.wal_segment_bytes,
+            wal_segment_records=args.wal_segment_records,
+            wal_retain_segments=args.wal_retain_segments,
         )
         schedule = FaultSchedule.parse(args.fault_schedule)
         if args.variant != "trap" and schedule.has_user_events():
@@ -206,7 +212,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
-    """Operate a fleet: spawn it, probe it, roll it, tear it down."""
+    """Operate a fleet: spawn it, probe it, roll it, replace a dead
+    member from shipped state, tear it down."""
     from repro.fleet.controller import FleetController, FleetError
     from repro.fleet.plan import DeploymentPlan, PlanError
 
@@ -221,12 +228,90 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         elif args.action == "roll":
             controller.roll()
             print(controller.status().describe())
+        elif args.action == "replace":
+            if not args.name:
+                print("error: replace needs --name", file=sys.stderr)
+                return 2
+            shipped = controller.replace(args.name)
+            print(
+                f"{args.name}: replaced "
+                + (
+                    f"from shipped checkpoint bundle ({shipped} live records)"
+                    if shipped
+                    else "by plain respawn (no state dir to ship from)"
+                )
+            )
+            print(controller.status().describe())
         else:  # down
             controller.down()
             print("fleet: stopped")
     except (OSError, PlanError, FleetError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect or compact a state directory's segmented log."""
+    from pathlib import Path
+
+    from repro.store.compact import (
+        compact_state_dir,
+        deployment_liveness,
+        fleet_liveness,
+    )
+    from repro.store.segments import LogDir, LogDirError
+
+    root = Path(args.state_dir)
+    if args.fleet:
+        legacy, liveness = "fleet.wal", fleet_liveness
+        # the process journal lives in its own subdirectory (a legacy
+        # top-level fleet.wal is migrated in by the same helper the
+        # server uses)
+        if (root / "fleet-log").exists() or (root / "fleet.wal").exists():
+            from repro.fleet.server import fleet_log_root
+
+            root = fleet_log_root(root)
+    else:
+        legacy, liveness = "atom.wal", deployment_liveness
+    if not LogDir.present(root, legacy):
+        print(f"error: no log under {root}", file=sys.stderr)
+        return 2
+    if args.action == "info":
+        try:
+            scan = LogDir.scan_dir(root, legacy)
+        except LogDirError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{root}:")
+        for name, count in scan.counts:
+            size = (root / name).stat().st_size
+            print(f"  {name:18s}  {count:7d} records  {size:10,d} bytes")
+        state = "clean shutdown" if scan.clean_shutdown else "resumable"
+        if scan.truncated:
+            state += f", truncated ({scan.reason})"
+        print(
+            f"  total: {len(scan.records)} records, "
+            f"{scan.disk_bytes:,} bytes ({state})"
+        )
+        return 0
+    # compact — single-writer: only safe with the owning process down
+    try:
+        stats = compact_state_dir(root, liveness, legacy_name=legacy)
+    except LogDirError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if stats.ran:
+        print(
+            f"compacted {root}: dropped {stats.dropped}/{stats.examined} "
+            f"sealed records, removed {stats.segments_removed} segments, "
+            f"{stats.bytes_before:,} -> {stats.bytes_after:,} bytes"
+        )
+    else:
+        print(
+            f"nothing to compact under {root} "
+            f"({stats.examined} sealed records, all live)"
+        )
     return 0
 
 
@@ -262,7 +347,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     overrides = {
         key: getattr(args, key)
         for key in ("transport", "state_dir", "group", "data_plane",
-                    "spill_threshold")
+                    "spill_threshold", "wal_segment_bytes",
+                    "wal_segment_records", "wal_retain_segments")
         if getattr(args, key) is not None
     }
     try:
@@ -450,6 +536,31 @@ def build_parser() -> argparse.ArgumentParser:
         "ciphertexts (0: never; batch data plane only) — bounds RSS "
         "for very large rounds",
     )
+    deploy.add_argument(
+        "--wal-segment-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        metavar="BYTES",
+        help="rotate the write-ahead log into a new segment file past "
+        "this size (0: never by size) — bounds any single wal-*.seg",
+    )
+    deploy.add_argument(
+        "--wal-segment-records",
+        type=int,
+        default=0,
+        metavar="N",
+        help="... or past this many records (0: never by count); small "
+        "values force rotation on short streams",
+    )
+    deploy.add_argument(
+        "--wal-retain-segments",
+        type=int,
+        default=4,
+        metavar="N",
+        help="compact once more than N sealed segments have piled up "
+        "(0: never auto-compact) — bounds the state dir to roughly "
+        "(N+2) segments plus the live suffix",
+    )
 
     def add_net_args(p):
         p.add_argument(
@@ -542,9 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fleet.add_argument(
         "action",
-        choices=["up", "status", "roll", "down"],
+        choices=["up", "status", "roll", "replace", "down"],
         help="up: spawn + readiness-gate; status: probe; "
-        "roll: rolling restart; down: terminate",
+        "roll: rolling restart; replace: restore one (dead) process "
+        "from a shipped checkpoint bundle (--name); down: terminate",
     )
     p_fleet.add_argument(
         "--plan", required=True, help="path to a saved DeploymentPlan"
@@ -555,7 +667,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="where pids and per-process logs live "
         "(default: <plan dir>/fleet-run)",
     )
+    p_fleet.add_argument(
+        "--name",
+        default=None,
+        help="plan name of the process to replace",
+    )
     p_fleet.set_defaults(func=cmd_fleet)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect or compact a state dir's segmented write-ahead log",
+    )
+    p_store.add_argument(
+        "action",
+        choices=["info", "compact"],
+        help="info: list segments/records and shutdown state; compact: "
+        "rewrite sealed segments down to the live suffix (run only "
+        "with the owning process stopped)",
+    )
+    p_store.add_argument(
+        "--state-dir", required=True, help=_STATE_DIR_HELP
+    )
+    p_store.add_argument(
+        "--fleet",
+        action="store_true",
+        help="operate on a fleet process's intake journal "
+        "(<state-dir>/fleet-log) instead of a deployment store",
+    )
+    p_store.set_defaults(func=cmd_store)
 
     p_scn = sub.add_parser(
         "scenario",
@@ -596,6 +735,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_scn.add_argument(
         "--spill-threshold", type=int, default=None, metavar="N",
         help="override the spec's spill threshold",
+    )
+    p_scn.add_argument(
+        "--wal-segment-bytes", type=int, default=None, metavar="BYTES",
+        help="override the spec's WAL segment size threshold",
+    )
+    p_scn.add_argument(
+        "--wal-segment-records", type=int, default=None, metavar="N",
+        help="override the spec's WAL segment record threshold",
+    )
+    p_scn.add_argument(
+        "--wal-retain-segments", type=int, default=None, metavar="N",
+        help="override the spec's sealed-segment retention bound",
     )
     p_scn.add_argument(
         "--json", dest="json_out", default=None, metavar="PATH",

@@ -103,6 +103,16 @@ class DeploymentConfig:
     #: snapshot node holdings every N committed layers (1: every
     #: commit, so recovery re-mixes nothing)
     checkpoint_every: int = 1
+    #: rotate the write-ahead log into a new segment file once the
+    #: active one exceeds this many bytes (0: never by size)
+    wal_segment_bytes: int = 8 * 1024 * 1024
+    #: ... or this many records (0: never by count); tiny values are
+    #: the test/smoke lever for exercising rotation on short streams
+    wal_segment_records: int = 0
+    #: compact once more than N sealed segments have piled up (0:
+    #: never auto-compact) — the state-dir disk bound is roughly
+    #: (retain + 2) * wal_segment_bytes plus the live suffix
+    wal_retain_segments: int = 4
     #: wrap the transport with deadlines/retries/idempotent request ids
     #: (False restores PR 4's perfect-network behavior exactly)
     resilience: bool = True
@@ -278,6 +288,9 @@ class AtomDeployment:
                 config=config,
                 fsync_every=config.wal_fsync_every,
                 checkpoint_every=config.checkpoint_every,
+                segment_bytes=config.wal_segment_bytes,
+                segment_records=config.wal_segment_records,
+                retain_segments=config.wal_retain_segments,
             )
         else:
             from repro.store import NullStore

@@ -13,6 +13,10 @@ Deployment/DeploymentPhase/DeploymentStatus/HealthCheck):
   (FLEET_SHUTDOWN + SIGTERM) → wait for exit → respawn → wait ready.
   With per-process state dirs the respawned process replays its WAL
   and rejoins the stream where it left off.
+- ``replace()`` — node replacement via checkpoint shipping: build a
+  bundle from the dead process's journal (live suffix only), archive
+  the old layout, respawn, BUNDLE_INSTALL the bundle — O(state)
+  restore instead of O(history) replay.
 - ``status()`` / ``down()`` — probe or terminate the fleet.  Runtime
   state (pids, log paths) is kept in ``fleet.json`` next to the logs so
   a later CLI invocation can status/down a fleet it did not spawn.
@@ -155,12 +159,20 @@ class FleetController:
 
     # -- probes --------------------------------------------------------
 
-    def _probe(self, spec: ProcessSpec):
-        """One FLEET_STATUS RPC on a throwaway connection; returns the
-        FleetStatusReply payload or raises OSError-family errors."""
-        env = ev.wrap(ev.FleetStatus(), 0, ev.COORDINATOR, ev.CONTROL)
+    def _rpc(
+        self,
+        spec: ProcessSpec,
+        payload,
+        expect: "ev.Kind",
+        timeout: Optional[float] = None,
+    ):
+        """One control RPC on a throwaway connection; returns the reply
+        payload, raising on the wrong reply kind (a Fault's message is
+        surfaced verbatim)."""
+        env = ev.wrap(payload, 0, ev.COORDINATOR, ev.CONTROL)
         frame = env.to_bytes(self.group)
-        timeout = self.plan.health.probe_timeout_s
+        if timeout is None:
+            timeout = self.plan.health.probe_timeout_s
         with socket.create_connection(
             (spec.host, spec.port), timeout=timeout
         ) as conn:
@@ -174,12 +186,23 @@ class FleetController:
                         _recv_exact(conn, length), self.group
                     )
                 )
-        if not replies or replies[0].kind is not ev.Kind.FLEET_STATUS_REPLY:
+        if not replies or replies[0].kind is not expect:
+            got = replies[0] if replies else None
+            detail = (
+                got.payload.message
+                if got is not None and got.kind is ev.Kind.FAULT
+                else (got.kind.name if got is not None else "nothing")
+            )
             raise FleetError(
-                f"process {spec.name!r} answered the status probe with "
-                f"{replies[0].kind.name if replies else 'nothing'}"
+                f"process {spec.name!r} answered {payload.kind.name} "
+                f"with {detail}"
             )
         return replies[0].payload
+
+    def _probe(self, spec: ProcessSpec):
+        """One FLEET_STATUS RPC; returns the FleetStatusReply payload
+        or raises OSError-family errors."""
+        return self._rpc(spec, ev.FleetStatus(), ev.Kind.FLEET_STATUS_REPLY)
 
     def _wait_ready(self, spec: ProcessSpec) -> None:
         """Poll until ready or fail loudly: child exit and deadline
@@ -277,6 +300,51 @@ class FleetController:
             self._spawn(spec)
             self._save_state()
             self._wait_ready(spec)
+
+    def replace(self, name: str) -> int:
+        """Replace one (typically dead) process via checkpoint
+        shipping: distill its state dir's journal into a bundle —
+        O(state): the compaction liveness rules keep only what a
+        restore can need — archive the old layout, respawn, and ship
+        the bundle to the fresh process (BUNDLE_INSTALL), which
+        replays it and rejoins the stream.  Returns the number of
+        shipped records (0 when the process had no state dir: plain
+        respawn, mid-round healing stays the heartbeat+buddy path).
+        """
+        from repro.fleet.server import fleet_log_root, fleet_shipper
+        from repro.store.segments import LogDir
+
+        spec = self.plan.process(name)
+        self._stop_process(spec)  # no-op beyond probing when already dead
+        bundle = None
+        if spec.state_dir is not None:
+            root = fleet_log_root(spec.state_dir)
+            if LogDir.present(root, "fleet.wal"):
+                bundle = fleet_shipper().build(root)
+                # Archive the dead layout: the fresh process must start
+                # empty (restoring from the bundle, never from a full
+                # history replay) and the old segments stay inspectable.
+                n = 0
+                while True:
+                    suffix = f"-replaced{n}" if n else "-replaced"
+                    backup = root.with_name(root.name + suffix)
+                    if not backup.exists():
+                        break
+                    n += 1
+                root.rename(backup)
+        self._spawn(spec)
+        self._save_state()
+        self._wait_ready(spec)
+        if bundle is None:
+            return 0
+        reply = self._rpc(
+            spec,
+            ev.BundleInstall(data=bundle.to_bytes()),
+            ev.Kind.CONTROL_OK,
+            timeout=max(30.0, self.plan.health.timeout_s),
+        )
+        assert reply is not None
+        return len(bundle.records)
 
     def _stop_process(self, spec: ProcessSpec, timeout_s: float = 10.0):
         pid = self._load_pids().get(spec.name)

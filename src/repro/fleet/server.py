@@ -20,14 +20,22 @@ rebuilt the round (abort retry / rekey): the old per-round state is
 discarded.
 
 **Durability.** With a ``state_dir`` the process journals ROUND_OPEN /
-ROUND_CLOSE and every *accepted* intake envelope to a write-ahead log
-(fleet-local record types, ignored by the coordinator-side store's
-scanner).  A respawned process replays the log — re-deriving contexts
-from the journaled mark and re-handling the intake envelopes under
-their original request ids, which also repopulates the idempotency
-dedup cache — and rejoins the stream mid-flight.  This is what makes
-``repro fleet roll`` (drain → SIGTERM → respawn → recover → rejoin)
-safe between rounds.
+ROUND_CLOSE and every *accepted* intake envelope to its own segmented
+log under ``<state_dir>/fleet-log/`` (fleet-local record types,
+ignored by the coordinator-side store's scanner; a pre-sharding
+``fleet.wal`` migrates in on first open).  A respawned process replays
+the log — re-deriving contexts from the journaled mark and re-handling
+the intake envelopes under their original request ids, which also
+repopulates the idempotency dedup cache — and rejoins the stream
+mid-flight.  This is what makes ``repro fleet roll`` (drain → SIGTERM
+→ respawn → recover → rejoin) safe between rounds.
+
+The journal stays bounded: every ROUND_CLOSE seals the active segment
+and compacts — a closed round's OPEN/ENVELOPE/CLOSE records are all
+dead (restart replays open rounds only), so long streams carry just
+the open rounds' intake on disk.  And a replacement process restores
+from a shipped checkpoint bundle (BUNDLE_INSTALL) instead of a full
+history replay: O(state), not O(history).
 """
 
 from __future__ import annotations
@@ -48,26 +56,54 @@ from repro.net import envelopes as ev
 from repro.net.envelopes import Envelope
 from repro.net.nodes import ServerNode
 from repro.net.transport import _LEN
+from repro.store.compact import Compactor, fleet_liveness
+from repro.store.segments import LogDir
+from repro.store.ship import CheckpointShipper
 from repro.store.store import Store
-from repro.store.wal import WriteAheadLog
 
 logger = logging.getLogger(__name__)
 
 #: fleet-local WAL record types — deliberately disjoint from
-#: repro.store.checkpoint.RecordType (1..12); unknown types survive
+#: repro.store.checkpoint.RecordType (1..13); unknown types survive
 #: either side's scanner, so the framing layer is shared verbatim.
+#: (repro.store.compact mirrors these values for its liveness policy.)
 REC_OPEN = 21
 REC_CLOSE = 22
 REC_ENVELOPE = 23
 
+#: legacy single-file journal name (pre-sharding process dirs)
+FLEET_WAL = "fleet.wal"
+
+
+def fleet_log_root(state_dir) -> Path:
+    """The process journal's segmented log directory,
+    ``<state_dir>/fleet-log/`` — its own directory so it can never
+    collide with a coordinator store sharing the state dir.  A legacy
+    top-level ``fleet.wal`` is moved inside (where :class:`LogDir`
+    migrates it to segment 1 on open)."""
+    state_dir = Path(state_dir)
+    root = state_dir / "fleet-log"
+    root.mkdir(parents=True, exist_ok=True)
+    legacy = state_dir / FLEET_WAL
+    if legacy.exists() and not LogDir.present(root, FLEET_WAL):
+        legacy.replace(root / FLEET_WAL)
+    return root
+
+
+def fleet_shipper() -> CheckpointShipper:
+    """The bundle builder/installer for fleet intake journals."""
+    return CheckpointShipper(
+        liveness=fleet_liveness, legacy_name=FLEET_WAL, kind="fleet"
+    )
+
 
 class _IntakeStore(Store):
     """Per-process store: journal accepted intake envelopes (the only
-    hook :class:`ServerNode` calls) to the process WAL."""
+    hook :class:`ServerNode` calls) to the process journal."""
 
     enabled = True
 
-    def __init__(self, wal: Optional[WriteAheadLog]):
+    def __init__(self, wal: Optional[LogDir]):
         self.wal = wal
 
     def envelope_accepted(self, env, group) -> None:
@@ -99,7 +135,7 @@ class FleetServer:
         self.contexts = None
         #: (epoch_round, seed, counter) the current contexts derive from
         self.epoch: Optional[Tuple[int, bytes, int]] = None
-        self.wal: Optional[WriteAheadLog] = None
+        self.wal: Optional[LogDir] = None
         self.store = _IntakeStore(None)
         self.ready = False
         self.draining = threading.Event()
@@ -165,24 +201,96 @@ class FleetServer:
     def _open_wal(self) -> None:
         if self.spec.state_dir is None:
             return
-        state_dir = Path(self.spec.state_dir)
-        state_dir.mkdir(parents=True, exist_ok=True)
-        path = state_dir / "fleet.wal"
-        existed = path.exists() and path.stat().st_size > 0
+        root = fleet_log_root(self.spec.state_dir)
+        existed = LogDir.present(root, FLEET_WAL)
         if existed:
-            self._replay(WriteAheadLog.read(path))
-        self.wal = WriteAheadLog(
-            path, fsync_every=self.config.wal_fsync_every, fresh=not existed
+            self._replay(LogDir.scan_dir(root, FLEET_WAL))
+        self.wal = LogDir(
+            root,
+            fsync_every=self.config.wal_fsync_every,
+            fresh=not existed,
+            segment_bytes=self.config.wal_segment_bytes,
+            segment_records=self.config.wal_segment_records,
+            legacy_name=FLEET_WAL,
         )
         self.store.wal = self.wal
 
+    def _truncate_closed(self) -> None:
+        """ROUND_CLOSE made a round's journal records dead: seal the
+        active segment and compact, so the disk footprint tracks the
+        *open* rounds (bounded) rather than the stream length."""
+        if self.wal is None:
+            return
+        try:
+            self.wal.rotate()
+            Compactor(fleet_liveness).compact(self.wal)
+        except Exception:
+            # Compaction is a disk-footprint optimization; a failure
+            # must not fail the ROUND_CLOSE that triggered it.
+            logger.exception("%s: journal truncation failed", self.spec.name)
+
+    def _install_bundle(self, data: bytes) -> int:
+        """BUNDLE_INSTALL: replace whatever journal this (fresh)
+        process holds with the shipped live suffix, then replay it.
+        Returns the number of restored records."""
+        shipper = fleet_shipper()
+        if self.spec.state_dir is None:
+            # no disk: restore in memory only (still byte-identical —
+            # replay is a pure function of the records)
+            from repro.store.ship import Bundle
+
+            bundle = data if isinstance(data, Bundle) else Bundle.from_bytes(data)
+            if bundle.kind != "fleet":
+                raise ValueError(f"bundle kind {bundle.kind!r} is not 'fleet'")
+            scan_records = bundle.records
+            self._replay_records(scan_records)
+            return len(scan_records)
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+            self.store.wal = None
+        root = fleet_log_root(self.spec.state_dir)
+        # wipe the fresh (empty or superseded) layout: the bundle is
+        # the authoritative state now
+        for name in ("wal.manifest", "wal.manifest.tmp", FLEET_WAL):
+            path = root / name
+            if path.exists():
+                path.unlink()
+        for seg in root.glob("wal-*.seg"):
+            seg.unlink()
+        bundle = shipper.install(root, data)
+        self.nodes.clear()
+        self.epoch = None
+        self._replay(LogDir.scan_dir(root, FLEET_WAL))
+        self.wal = LogDir(
+            root,
+            fsync_every=self.config.wal_fsync_every,
+            fresh=False,
+            segment_bytes=self.config.wal_segment_bytes,
+            segment_records=self.config.wal_segment_records,
+            legacy_name=FLEET_WAL,
+        )
+        self.store.wal = self.wal
+        return len(bundle.records)
+
+    def _build_bundle(self) -> Tuple[bytes, int]:
+        """BUNDLE_FETCH: distill this process's live suffix."""
+        if self.spec.state_dir is None or self.wal is None:
+            raise ValueError("process has no state dir; nothing to bundle")
+        self.wal.sync()
+        bundle = fleet_shipper().build(fleet_log_root(self.spec.state_dir))
+        return bundle.to_bytes(), len(bundle.records)
+
     def _replay(self, scan) -> None:
+        self._replay_records(scan.records)
+
+    def _replay_records(self, records) -> None:
         """Rebuild per-round state from the journal: for every round
         still open, re-derive contexts from its (latest) journaled mark
         and re-handle the accepted intake envelopes under their
         original request ids."""
         rounds: Dict[int, dict] = {}
-        for rec in scan.records:
+        for rec in records:
             if rec.type == REC_OPEN:
                 meta = json.loads(rec.payload)
                 rid = meta["round_id"]
@@ -256,7 +364,29 @@ class FleetServer:
                 )
                 self.wal.sync()
             self._drop_round(env.round_id)
+            self._truncate_closed()
             return [self._ok(env)]
+        if kind is ev.Kind.BUNDLE_INSTALL:
+            try:
+                count = self._install_bundle(env.payload.data)
+            except Exception as exc:
+                return [self._fault(env, f"bundle install failed: {exc!r}")]
+            logger.info(
+                "%s: installed checkpoint bundle (%d live records)",
+                self.spec.name, count,
+            )
+            return [self._ok(env)]
+        if kind is ev.Kind.BUNDLE_FETCH:
+            try:
+                data, records = self._build_bundle()
+            except Exception as exc:
+                return [self._fault(env, f"bundle build failed: {exc!r}")]
+            return [
+                ev.wrap(
+                    ev.BundleData(data=data, records=records),
+                    env.round_id, ev.CONTROL, env.sender,
+                )
+            ]
         if kind is ev.Kind.FLEET_STATUS:
             reply = ev.FleetStatusReply(
                 name=self.spec.name,

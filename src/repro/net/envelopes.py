@@ -95,6 +95,9 @@ class Kind(enum.IntEnum):
     FLEET_STATUS_REPLY = 53
     FLEET_SHUTDOWN = 54
     CONTROL_OK = 55
+    BUNDLE_INSTALL = 56
+    BUNDLE_FETCH = 57
+    BUNDLE_DATA = 58
 
 
 # ---------------------------------------------------------------------------
@@ -957,6 +960,51 @@ class FleetStatusReply(_Payload):
 class FleetShutdown(_Payload):
     """Controller -> fleet process: drain and exit gracefully (the
     socket-level half of SIGTERM, for rolling restarts)."""
+
+
+@_register(Kind.BUNDLE_INSTALL)
+@dataclass
+class BundleInstall(_Payload):
+    """Controller -> replacement fleet process: restore your per-round
+    state from this checkpoint bundle (built from the dead process's
+    state dir — see :mod:`repro.store.ship`) instead of whatever is on
+    your disk.  ``data`` is an opaque bundle blob."""
+
+    data: bytes
+
+    def _encode(self, w: _Writer) -> None:
+        w.blob(self.data)
+
+    @classmethod
+    def _decode(cls, r: _Reader) -> "BundleInstall":
+        return cls(data=r.blob())
+
+
+@_register(Kind.BUNDLE_FETCH)
+@dataclass
+class BundleFetch(_Payload):
+    """Controller -> fleet process: distill your journal's live suffix
+    into a bundle and send it back (BUNDLE_DATA) — lets an operator
+    snapshot a live process without touching its state dir."""
+
+
+@_register(Kind.BUNDLE_DATA)
+@dataclass
+class BundleData(_Payload):
+    """Fleet process -> controller: the requested checkpoint bundle,
+    plus how many live records it carries."""
+
+    data: bytes
+    records: int
+
+    def _encode(self, w: _Writer) -> None:
+        w.blob(self.data)
+        w.u32(self.records)
+
+    @classmethod
+    def _decode(cls, r: _Reader) -> "BundleData":
+        data = r.blob()
+        return cls(data=data, records=r.u32())
 
 
 @_register(Kind.CONTROL_OK)

@@ -59,6 +59,9 @@ _DEPLOY_FIELDS = {
     "heartbeat": "heartbeat",
     "rpc_timeout": "rpc_timeout",
     "state_dir": "state_dir",
+    "wal_segment_bytes": "wal_segment_bytes",
+    "wal_segment_records": "wal_segment_records",
+    "wal_retain_segments": "wal_retain_segments",
 }
 
 _DIALING_DEFAULTS = {"mailboxes": 8, "dummy_mu": 0.0, "dummy_scale": 1.0}

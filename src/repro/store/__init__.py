@@ -3,8 +3,17 @@
 The fault story of the paper (§4.5 buddy recovery, §4.6 blame) assumes
 servers can *rejoin*; this package makes the reproduction restartable:
 
-- :mod:`repro.store.wal` — the append-only, CRC-framed log with a
-  torn-tail-tolerant reader and an fsync-batching knob.
+- :mod:`repro.store.wal` — the append-only, CRC-framed record framing
+  with a torn-tail-tolerant reader and an fsync-batching knob.
+- :mod:`repro.store.segments` — :class:`LogDir`: the sharded on-disk
+  layout (``wal-<seq>.seg`` rotation under an atomic manifest, legacy
+  single-file migration, orphan collection, crash-test failpoints).
+- :mod:`repro.store.compact` — :class:`Compactor`: rewrites sealed
+  segments down to the records a restore can still need (safe-point =
+  durable round boundaries).
+- :mod:`repro.store.ship` — :class:`CheckpointShipper`: packages the
+  live suffix into a self-contained bundle a replacement process
+  restores from in O(state) instead of O(history).
 - :mod:`repro.store.checkpoint` — record codecs: snapshots of node
   holdings (via the group backends' element codecs), layer commits
   with audits, rng marks, settled-round stats.
@@ -20,6 +29,7 @@ Import :class:`~repro.store.recovery.RecoveryManager` from its module
 light).
 """
 
+from repro.store.segments import LogDir, LogScan
 from repro.store.store import DurableStore, NullStore, Store
 from repro.store.wal import (
     RecordType,
@@ -33,6 +43,8 @@ __all__ = [
     "Store",
     "NullStore",
     "DurableStore",
+    "LogDir",
+    "LogScan",
     "WriteAheadLog",
     "WalRecord",
     "WalScan",

@@ -246,6 +246,7 @@ _CONFIG_FIELDS = (
     "adversarial_fraction", "iterations", "message_size", "crypto_group",
     "topology", "nizk_rounds", "num_trustees", "parallelism", "transport",
     "wal_fsync_every", "checkpoint_every", "data_plane", "spill_threshold",
+    "wal_segment_bytes", "wal_segment_records", "wal_retain_segments",
 )
 
 

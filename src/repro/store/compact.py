@@ -1,0 +1,235 @@
+"""Log compaction: drop journal records superseded by durable round
+boundaries, and rewrite sealed segments down to the live suffix.
+
+The safe-point rule
+-------------------
+
+A record is *dead* once a later durable round boundary supersedes it.
+For a deployment log the boundary is the round's fsynced ROUND_DONE
+(stream) or ROUND_END (standalone) record — after it, recovery never
+replays that round's intake, rng marks, layer commits, or checkpoints
+(and a CLEAN tail settles everything).  What stays live forever is
+deliberately tiny and O(state), not O(history):
+
+- META and STREAM_BEGIN (the run's identity),
+- every *fresh* ROUND_SETUP mark (epoch establishment: resume re-forms
+  contexts and buddy escrows from the last fresh mark at-or-before the
+  resume round),
+- every ROUND_DONE / ROUND_END (stream resume derives "which round is
+  next" and the between-rounds rng position from the settled list),
+- the CLEAN marker,
+- and **all** records of rounds not yet settled — including the
+  pipelined next round whose intake journals before the current
+  round's boundary.  Order among kept records is preserved verbatim,
+  so replaying a compacted log is replaying the original.
+
+For a fleet intake journal (REC_OPEN/REC_ENVELOPE/REC_CLOSE) the
+boundary is REC_CLOSE: restart replays open rounds only, so a closed
+round's records are dead in their entirety.
+
+The mechanism
+-------------
+
+Compaction never touches the **active** segment (the appender owns
+it).  It reads the sealed prefix, copies the live records into one
+fresh *base* segment, atomically swaps the manifest from
+``[s1..sk, active]`` to ``[base, active]``, and only then unlinks the
+old sealed files.  The manifest swap is the commit point: a crash
+before it leaves the old layout plus an orphan base (collected on the
+next open); a crash after it leaves the new layout plus orphan old
+segments (same collector).  No intermediate state loses a record.
+
+Liveness is computed over the *whole* logical log — boundary records
+in the active segment settle rounds whose bodies live in sealed
+segments — but only sealed records are rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Sequence, Union
+
+from repro.net import envelopes as ev
+from repro.store.segments import LogDir, hit, segment_name, write_segment_file
+from repro.store.wal import RecordType, WalRecord, WriteAheadLog
+
+_U32 = struct.Struct(">I")
+
+#: fleet intake-journal record types (mirrors repro.fleet.server; kept
+#: numerically disjoint from RecordType so either scanner survives the
+#: other's records)
+REC_OPEN = 21
+REC_CLOSE = 22
+REC_ENVELOPE = 23
+
+LivenessFn = Callable[[Sequence[WalRecord]], List[bool]]
+
+
+def _record_round(rec: WalRecord) -> int:
+    """The round a record belongs to, peeked without a group handle."""
+    t = rec.type
+    if t in (RecordType.LAYER_COMMIT, RecordType.CHECKPOINT):
+        return _U32.unpack_from(rec.payload)[0]
+    if t == RecordType.ENVELOPE:
+        return ev._HEADER.unpack_from(rec.payload)[3]
+    # JSON bookkeeping records all carry a "round" key
+    return json.loads(rec.payload)["round"]
+
+
+def deployment_liveness(records: Sequence[WalRecord]) -> List[bool]:
+    """Keep-mask for a deployment log (see module docstring)."""
+    # In a stream only ROUND_DONE settles: the engine journals
+    # ROUND_END(r) *before* ROUND_DONE(r), so between the two the round
+    # is still live — compaction runs inside exactly that window.
+    is_stream = any(r.type == RecordType.STREAM_BEGIN for r in records)
+    settled = set()
+    for rec in records:
+        if rec.type == RecordType.ROUND_DONE:
+            settled.add(json.loads(rec.payload)["round_id"])
+        elif rec.type == RecordType.ROUND_END and not is_stream:
+            settled.add(json.loads(rec.payload)["round"])
+    keep: List[bool] = []
+    for rec in records:
+        t = rec.type
+        if t in (RecordType.META, RecordType.STREAM_BEGIN,
+                 RecordType.ROUND_DONE, RecordType.ROUND_END,
+                 RecordType.CLEAN):
+            keep.append(True)
+        elif t == RecordType.RESUME:
+            keep.append(False)  # pure marker; replay ignores it
+        elif t == RecordType.ROUND_SETUP:
+            mark = json.loads(rec.payload)
+            keep.append(bool(mark["fresh"]) or mark["round"] not in settled)
+        elif t in (RecordType.ROUND_BEGIN, RecordType.ENVELOPE,
+                   RecordType.HONEST, RecordType.LAYER_COMMIT,
+                   RecordType.CHECKPOINT):
+            try:
+                keep.append(_record_round(rec) not in settled)
+            except Exception:
+                keep.append(True)  # unparseable: keep conservatively
+        else:
+            keep.append(True)  # unknown types survive compaction
+    return keep
+
+
+def fleet_liveness(records: Sequence[WalRecord]) -> List[bool]:
+    """Keep-mask for a fleet intake journal: a round whose latest
+    REC_OPEN was followed by REC_CLOSE is fully dead (restart replays
+    open rounds only)."""
+    open_rounds = set()
+    for rec in records:
+        try:
+            if rec.type == REC_OPEN:
+                open_rounds.add(json.loads(rec.payload)["round_id"])
+            elif rec.type == REC_CLOSE:
+                open_rounds.discard(json.loads(rec.payload)["round_id"])
+        except Exception:
+            pass  # unparseable boundary: the keep loop retains it
+    keep: List[bool] = []
+    for rec in records:
+        if rec.type in (REC_OPEN, REC_CLOSE, REC_ENVELOPE):
+            try:
+                if rec.type == REC_ENVELOPE:
+                    rid = ev._HEADER.unpack_from(rec.payload)[3]
+                else:
+                    rid = json.loads(rec.payload)["round_id"]
+                keep.append(rid in open_rounds)
+            except Exception:
+                keep.append(True)
+        else:
+            keep.append(True)
+    return keep
+
+
+@dataclass
+class CompactionStats:
+    """What one compaction pass did (all byte counts manifest-accounted,
+    so ``.spill`` scratch files never enter the arithmetic)."""
+
+    examined: int = 0  # sealed records considered for rewrite
+    kept: int = 0
+    dropped: int = 0
+    segments_removed: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    @property
+    def ran(self) -> bool:
+        return self.segments_removed > 0
+
+
+class Compactor:
+    """Rewrites a :class:`LogDir`'s sealed prefix down to live records."""
+
+    def __init__(self, liveness: LivenessFn = deployment_liveness):
+        self.liveness = liveness
+
+    def compact(self, log: LogDir) -> CompactionStats:
+        """Online compaction of an open (single-writer-owned) log dir.
+
+        The active segment is never read for rewrite and never
+        replaced; with fewer than two manifest segments there is
+        nothing to do."""
+        stats = CompactionStats(bytes_before=log.disk_bytes())
+        sealed = log.sealed_names()
+        if not sealed:
+            stats.bytes_after = stats.bytes_before
+            return stats
+
+        sealed_records: List[WalRecord] = []
+        for name in sealed:
+            inner = WriteAheadLog.read(log.root / name)
+            if inner.truncated:
+                # a damaged sealed segment cannot be safely rewritten
+                # (records past the damage are unreachable anyway)
+                stats.bytes_after = stats.bytes_before
+                return stats
+            sealed_records.extend(inner.records)
+        active_records = WriteAheadLog.read(log.root / log.active_name).records
+
+        keep = self.liveness(list(sealed_records) + list(active_records))
+        keep = keep[: len(sealed_records)]
+        stats.examined = len(sealed_records)
+        stats.kept = sum(keep)
+        stats.dropped = stats.examined - stats.kept
+        if stats.dropped == 0:
+            stats.bytes_after = stats.bytes_before
+            return stats
+
+        live = [rec for rec, k in zip(sealed_records, keep) if k]
+        base = segment_name(log.next_seq)
+        log.next_seq += 1
+        write_segment_file(log.root / base, live)
+        hit("compact:written")
+        old = list(sealed)
+        log.segments = [base, log.active_name]
+        log._write_manifest()
+        hit("compact:swapped")
+        for name in old:
+            path = log.root / name
+            if path.exists():
+                path.unlink()
+        hit("compact:cleaned")
+        stats.segments_removed = len(old)
+        stats.bytes_after = log.disk_bytes()
+        return stats
+
+
+def compact_state_dir(
+    root: Union[str, Path],
+    liveness: LivenessFn = deployment_liveness,
+    legacy_name: str = "atom.wal",
+) -> CompactionStats:
+    """Offline compaction (CLI / tooling): open the dir for append —
+    which migrates a legacy single-file log in place — seal the current
+    active segment, compact, and close.  Must only run when no server
+    process owns the directory."""
+    log = LogDir(root, fsync_every=0, fresh=False, legacy_name=legacy_name)
+    try:
+        log.rotate()
+        return Compactor(liveness).compact(log)
+    finally:
+        log.close()

@@ -47,8 +47,9 @@ from repro.crypto.groups import DeterministicRng, get_group
 from repro.net import envelopes as ev
 from repro.net.envelopes import Envelope
 from repro.store import checkpoint as ck
+from repro.store.segments import LogDir, LogScan
 from repro.store.store import DurableStore
-from repro.store.wal import RecordType, WalScan, WriteAheadLog
+from repro.store.wal import RecordType
 
 
 class RecoveryError(RuntimeError):
@@ -68,10 +69,14 @@ class RecoveryManager:
 
     def __init__(self, state_dir: Union[str, Path]):
         self.state_dir = Path(state_dir)
-        wal_path = self.state_dir / DurableStore.WAL_NAME
-        if not wal_path.exists():
+        if not LogDir.present(self.state_dir, DurableStore.WAL_NAME):
             raise RecoveryError(f"no write-ahead log under {self.state_dir}")
-        self.scan: WalScan = WriteAheadLog.read(wal_path)
+        self.scan: LogScan = LogDir.scan_dir(
+            self.state_dir, DurableStore.WAL_NAME
+        )
+        #: segment files the restore actually read (test instrumentation
+        #: for "a shipped restore never touches pre-safe-point history")
+        self.segments_read = list(self.scan.segments_read)
         self.config = None
         self.group = None
         self._stream: Optional[Tuple[object, str]] = None
@@ -183,6 +188,9 @@ class RecoveryManager:
             fresh=False,
             fsync_every=self.config.wal_fsync_every,
             checkpoint_every=self.config.checkpoint_every,
+            segment_bytes=self.config.wal_segment_bytes,
+            segment_records=self.config.wal_segment_records,
+            retain_segments=self.config.wal_retain_segments,
         )
         store.replaying = True
         return store

@@ -9,12 +9,20 @@ in-memory paths pay nothing (the one hot-path hook, ``layer_commit``,
 is additionally gated on ``store.enabled`` so the no-op case does not
 even build its snapshot argument).
 
-:class:`DurableStore` appends the events to a
-:class:`~repro.store.wal.WriteAheadLog` under the deployment's state
-directory.  ``replaying`` suppresses journaling while
-:class:`~repro.store.recovery.RecoveryManager` re-executes logged
-events, so recovery never duplicates records (and a crash *during*
-recovery leaves the log byte-identical — recovery is idempotent).
+:class:`DurableStore` appends the events to a segmented
+:class:`~repro.store.segments.LogDir` under the deployment's state
+directory (``wal-*.seg`` + manifest; a legacy single-file ``atom.wal``
+migrates in place on reopen).  ``replaying`` suppresses journaling
+while :class:`~repro.store.recovery.RecoveryManager` re-executes
+logged events, so recovery never duplicates records (and a crash
+*during* recovery leaves the log byte-identical — recovery is
+idempotent).
+
+Disk stays bounded: segments rotate at the configured size/record
+thresholds, and once the sealed-segment count exceeds
+``retain_segments`` the store compacts at the next round boundary
+(round settle / round end — the durable points whose records make
+earlier history dead; see :mod:`repro.store.compact`).
 """
 
 from __future__ import annotations
@@ -24,7 +32,8 @@ from typing import Optional, Union
 
 from repro.crypto.groups import GroupBackend as Group
 from repro.store import checkpoint as ck
-from repro.store.wal import RecordType, WriteAheadLog
+from repro.store.segments import DEFAULT_SEGMENT_BYTES, LogDir
+from repro.store.wal import RecordType
 
 
 class Store:
@@ -82,10 +91,11 @@ class NullStore(Store):
 
 
 class DurableStore(Store):
-    """WAL-backed store rooted at a state directory."""
+    """Segmented-log-backed store rooted at a state directory."""
 
     enabled = True
 
+    #: legacy single-file log name (pre-sharding dirs migrate from it)
     WAL_NAME = "atom.wal"
 
     def __init__(
@@ -96,43 +106,50 @@ class DurableStore(Store):
         fsync_every: int = 8,
         checkpoint_every: int = 1,
         fresh: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        segment_records: int = 0,
+        retain_segments: int = 4,
     ):
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self.group = group
         self.checkpoint_every = max(1, checkpoint_every)
+        self.retain_segments = max(0, retain_segments)
         self.replaying = False
         self._closed = False
-        wal_path = self.state_dir / self.WAL_NAME
         if fresh:
             # Never destroy a resumable log: re-running with a crashed
             # run's --state-dir (the natural retry, instead of
-            # `repro resume`) rotates the old log aside rather than
-            # truncating the only copy of the journaled state.
-            self._rotate_if_resumable(wal_path)
-        self.wal = WriteAheadLog(wal_path, fsync_every=fsync_every, fresh=fresh)
+            # `repro resume`) rotates the old layout aside (into
+            # wal-bak/) rather than truncating the only copy of the
+            # journaled state.
+            LogDir.rotate_aside(self.state_dir, self.WAL_NAME)
+        self.wal = LogDir(
+            self.state_dir,
+            fsync_every=fsync_every,
+            fresh=fresh,
+            segment_bytes=segment_bytes,
+            segment_records=segment_records,
+            legacy_name=self.WAL_NAME,
+        )
         if fresh and config is not None:
             self._append(RecordType.META, ck.encode_meta(config))
-
-    @staticmethod
-    def _rotate_if_resumable(wal_path: Path) -> None:
-        if not wal_path.exists() or wal_path.stat().st_size == 0:
-            return
-        try:
-            scan = WriteAheadLog.read(wal_path)
-        except Exception:
-            return  # not a log at all; overwriting loses nothing
-        if scan.records and not scan.clean_shutdown:
-            backup = wal_path.with_suffix(".wal.bak")
-            n = 1
-            while backup.exists():  # never clobber an earlier backup
-                backup = wal_path.with_suffix(f".wal.bak{n}")
-                n += 1
-            wal_path.replace(backup)
 
     def _append(self, rtype: RecordType, payload: bytes) -> None:
         if not self.replaying and not self._closed:
             self.wal.append(rtype, payload)
+
+    def _maybe_compact(self) -> None:
+        """Round boundaries are the safe points: once the sealed
+        backlog exceeds the retention bound, rewrite it down to the
+        live suffix (never during replay — recovery must leave the log
+        byte-identical)."""
+        if self.replaying or self._closed or not self.retain_segments:
+            return
+        if len(self.wal.sealed_names()) > self.retain_segments:
+            from repro.store.compact import Compactor  # lazy: import cycle
+
+            Compactor().compact(self.wal)
 
     # -- journaling hooks ---------------------------------------------
 
@@ -166,6 +183,7 @@ class DurableStore(Store):
 
     def round_end(self, round_id: int, ok: bool) -> None:
         self._append(RecordType.ROUND_END, ck.encode_round_end(round_id, ok))
+        self._maybe_compact()
 
     def stream_begin(self, stream, schedule_spec: str) -> None:
         self._append(
@@ -180,6 +198,7 @@ class DurableStore(Store):
         self._append(RecordType.ROUND_DONE, ck.encode_round_stats(stats, rng))
         if not self.replaying:
             self.wal.sync()
+        self._maybe_compact()
 
     # -- lifecycle ----------------------------------------------------
 

@@ -205,12 +205,17 @@ class WriteAheadLog:
         frame (``truncated``/``reason`` say so); it never raises for
         tail damage, only for a file that was never a log at all.
         """
-        raw = Path(path).read_bytes()
+        return WriteAheadLog.scan_bytes(Path(path).read_bytes(), what=path)
+
+    @staticmethod
+    def scan_bytes(raw: bytes, what: object = "<memory>") -> WalScan:
+        """Scan an in-memory log image with :meth:`read` semantics
+        (checkpoint bundles carry such images over the wire)."""
         if len(raw) < len(MAGIC) + 1 or raw[: len(MAGIC)] != MAGIC:
-            raise WalError(f"{path} is not a write-ahead log (bad magic)")
+            raise WalError(f"{what} is not a write-ahead log (bad magic)")
         if raw[len(MAGIC)] != WAL_VERSION:
             raise WalError(
-                f"{path} has log version {raw[len(MAGIC)]}, "
+                f"{what} has log version {raw[len(MAGIC)]}, "
                 f"expected {WAL_VERSION}"
             )
         scan = WalScan(end_offset=len(MAGIC) + 1)

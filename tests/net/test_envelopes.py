@@ -248,6 +248,13 @@ def payload_st(backend):
             ).map(tuple),
         ),
         st.builds(ev.FleetShutdown),
+        st.builds(ev.BundleInstall, data=st.binary(max_size=128)),
+        st.builds(ev.BundleFetch),
+        st.builds(
+            ev.BundleData,
+            data=st.binary(max_size=128),
+            records=st.integers(min_value=0, max_value=2**32 - 1),
+        ),
         st.builds(ev.ControlOk),
     )
 
@@ -328,6 +335,9 @@ def test_every_kind_is_covered(backend):
             name="p0", ready=True, pid=4242, gids=(0, 2), open_rounds=(1,)
         ),
         Kind.FLEET_SHUTDOWN: ev.FleetShutdown(),
+        Kind.BUNDLE_INSTALL: ev.BundleInstall(data=b"\x04" * 24),
+        Kind.BUNDLE_FETCH: ev.BundleFetch(),
+        Kind.BUNDLE_DATA: ev.BundleData(data=b"\x05" * 24, records=3),
         Kind.CONTROL_OK: ev.ControlOk(),
     }
     assert set(examples) == set(ev.all_payload_types()), (

@@ -108,6 +108,50 @@ def test_resume_spilled_round_is_byte_identical(tmp_path, stop_after):
     assert _canonical(group, resumed) == _canonical(group, baseline)
 
 
+def test_resume_ignores_scratch_and_orphan_segments(tmp_path):
+    """The spilled-round garbage contract, extended to segmented
+    layouts: torn ``.spill`` scratch (in the spill dir *and* strewn at
+    the top level) plus an orphan ``wal-*.seg`` from a rotation that
+    died before its manifest swap must not influence resume — readers
+    follow the manifest, never the directory glob — and stay out of
+    the retention accounting."""
+    from repro.store.segments import LogDir
+    from repro.store.wal import WriteAheadLog
+
+    group = get_group("TOY")
+    baseline = _drive_round(_config())
+    _drive_round(
+        _config(tmp_path, spill_threshold=3, wal_segment_records=4),
+        stop_after_layers=2,
+    )
+    spill_dir = tmp_path / "spill"
+    spill_dir.mkdir(exist_ok=True)
+    (spill_dir / "r0-g0-99.spill").write_bytes(b"torn garbage, not a WAL")
+    (tmp_path / "r0-g0-1.spill").write_bytes(b"more torn garbage")
+    orphan = tmp_path / "wal-000099.seg"
+    wal = WriteAheadLog(orphan, fresh=True)
+    wal.append(1, b'{"alien": "records"}')
+    wal.close()
+
+    scan = LogDir.scan_dir(tmp_path)
+    assert len(scan.segments_read) > 1  # the rotation threshold fired
+    assert "wal-000099.seg" not in scan.segments_read
+    assert scan.disk_bytes == sum(
+        (tmp_path / name).stat().st_size for name in scan.segments_read
+    )
+
+    manager = RecoveryManager(tmp_path)
+    assert manager.needs_recovery()
+    assert manager.segments_read == scan.segments_read
+    resumed = manager.complete_round()
+    assert resumed.ok
+    assert _canonical(group, resumed) == _canonical(group, baseline)
+    # The scratch files survive untouched; resume only consumed the
+    # manifest's segments.
+    assert (spill_dir / "r0-g0-99.spill").exists()
+    assert (tmp_path / "r0-g0-1.spill").exists()
+
+
 @pytest.mark.parametrize("variant", ["basic", "nizk"])
 def test_resume_other_variants(tmp_path, variant):
     group = get_group("TOY")

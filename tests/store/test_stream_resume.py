@@ -228,7 +228,15 @@ def test_resume_keeps_legitimately_duplicate_honest_messages(tmp_path):
 def test_rerunning_a_crashed_state_dir_rotates_the_log(tmp_path):
     """Re-invoking run-stream with a crashed run's --state-dir (the
     natural retry instead of `resume`) must not destroy the resumable
-    log: it is rotated to atom.wal.bak."""
+    log: segments + manifest move aside into wal-bak/."""
+    from repro.store.segments import LogDir
+
+    def _layout_bytes(root):
+        return {
+            p.name: p.read_bytes()
+            for p in root.iterdir()
+            if p.is_file() and (p.name.endswith(".seg") or p.name == "wal.manifest")
+        }
 
     def crashing_fn(r, i):
         if (r, i) == (1, 0):
@@ -238,26 +246,31 @@ def test_rerunning_a_crashed_state_dir_rotates_the_log(tmp_path):
     engine = _engine(tmp_path)
     with pytest.raises(SimulatedCrash):
         engine.run(message_fn=crashing_fn)
-    crashed_bytes = (tmp_path / "atom.wal").read_bytes()
+    crashed = _layout_bytes(tmp_path)
+    assert crashed  # the crashed run left a resumable segmented log
 
     with _engine(tmp_path, rounds=2) as engine2:
         report = engine2.run()
     assert report.ok
-    assert (tmp_path / "atom.wal.bak").read_bytes() == crashed_bytes
-    # ... and a clean run's dir is simply truncated on reuse (no .bak churn).
+    assert _layout_bytes(tmp_path / "wal-bak") == crashed
+    # ... and a clean run's dir is simply truncated on reuse (no backup churn).
     with _engine(tmp_path, rounds=2) as engine3:
         assert engine3.run().ok
-    assert (tmp_path / "atom.wal.bak").read_bytes() == crashed_bytes
+    assert _layout_bytes(tmp_path / "wal-bak") == crashed
 
     # A second crash + rerun must not clobber the first backup.
     engine4 = _engine(tmp_path)
     with pytest.raises(SimulatedCrash):
         engine4.run(message_fn=crashing_fn)
-    second_crash = (tmp_path / "atom.wal").read_bytes()
+    second_crash = _layout_bytes(tmp_path)
     with _engine(tmp_path, rounds=2) as engine5:
         assert engine5.run().ok
-    assert (tmp_path / "atom.wal.bak").read_bytes() == crashed_bytes
-    assert (tmp_path / "atom.wal.bak1").read_bytes() == second_crash
+    assert _layout_bytes(tmp_path / "wal-bak") == crashed
+    assert _layout_bytes(tmp_path / "wal-bak1") == second_crash
+    # backups are invisible to the live layout's reader
+    assert set(LogDir.scan_dir(tmp_path).segments_read) == set(
+        n for n in _layout_bytes(tmp_path) if n.endswith(".seg")
+    )
 
 
 def test_resumed_report_preserves_settled_round_stats(tmp_path):
